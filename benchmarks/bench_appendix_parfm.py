@@ -1,0 +1,28 @@
+"""Appendix C: PARFM failure probability and RFM_TH selection.
+
+Expected shape: the selected RFM_TH meets the 1e-15 target; it drops
+below Mithril's RFM_TH as FlipTH shrinks (the source of PARFM's energy
+overhead in Figure 10(d)).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import appendix_parfm
+
+
+def test_appendix_parfm_failure(benchmark, save_rows, repro_scale):
+    rows = run_once(benchmark, appendix_parfm.run)
+    save_rows("appendix_parfm", rows)
+    appendix_parfm.print_rows(rows)
+
+    for row in rows:
+        assert row["parfm_rfm_th"] is not None
+        assert row["system_failure_probability"] < 1e-15
+
+    by_flip = {row["flip_th"]: row for row in rows}
+    # RFM_TH shrinks with FlipTH.
+    ths = [by_flip[f]["parfm_rfm_th"]
+           for f in (50_000, 25_000, 12_500, 6_250, 3_125, 1_500)]
+    assert ths == sorted(ths, reverse=True)
+    # At low FlipTH, PARFM must issue RFMs more often than Mithril.
+    assert by_flip[1_500]["parfm_rfm_th"] < by_flip[1_500]["mithril_rfm_th"]
+    assert by_flip[3_125]["parfm_rfm_th"] < by_flip[3_125]["mithril_rfm_th"]

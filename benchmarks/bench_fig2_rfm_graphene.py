@@ -1,0 +1,37 @@
+"""Figure 2: safe FlipTH of ARR-Graphene vs RFM-Graphene.
+
+Expected shape: the ARR column grows linearly with the predefined
+threshold; the RFM column never drops below a floor in the tens of
+thousands no matter how low the threshold goes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2
+
+
+def test_fig2_safe_flip_th(benchmark, save_rows, repro_scale):
+    rows = run_once(benchmark, fig2.run, empirical=True, scale=repro_scale)
+    save_rows("fig2", rows)
+    fig2.print_rows(rows)
+
+    by_threshold = {row["predefined_threshold"]: row for row in rows}
+    # ARR is linear in the threshold.
+    assert (
+        by_threshold[8_000]["arr_graphene_safe_flip_th"]
+        == 8 * by_threshold[1_000]["arr_graphene_safe_flip_th"]
+    )
+    # RFM-Graphene floors out: lowering the threshold stops helping and
+    # eventually hurts.
+    assert (
+        by_threshold[250]["rfm_graphene_safe_flip_th"]
+        > by_threshold[2_000]["rfm_graphene_safe_flip_th"]
+    )
+    assert all(
+        row["rfm_graphene_safe_flip_th"] > 10_000 for row in rows
+    )
+    # Empirical replay: the concentration adversary drives real
+    # disturbance far past the threshold-implied level.
+    assert any(
+        row["empirical_max_disturbance"] > row["predefined_threshold"]
+        for row in rows
+    )

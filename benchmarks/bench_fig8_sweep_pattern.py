@@ -1,0 +1,27 @@
+"""Figure 8: the lbm-style large-object sweep.
+
+Expected shape: accesses concentrate in ~128-per-row bursts (8KB row /
+64B line), the small window touches few distinct rows, and bursts match
+the AdTH = 100-200 range the adaptive policy exploits.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8_sweep_pattern(benchmark, save_rows, repro_scale):
+    result = run_once(benchmark, fig8.run, scale=max(repro_scale, 1.0))
+    save_rows(
+        "fig8",
+        {k: v for k, v in result.items() if not k.startswith("accessed")},
+    )
+    fig8.print_rows(result)
+
+    # The paper's number: 128 streamed accesses per row.
+    assert 64 <= result["mean_burst_length"] <= 200
+    # Bursts land inside the effective AdTH range of Section V-A.
+    assert 100 <= result["max_burst_length"] <= 256
+    # Concentration: few distinct rows inside the small window.
+    assert result["distinct_rows_small_window"] <= 16
+    # The pattern itself (a) sweeps a large footprint over the long run.
+    assert len(set(result["accessed_rows_large_window"])) > 16

@@ -1,0 +1,46 @@
+"""Extension: DRAM-parameter sensitivity of the Mithril configuration.
+
+Not a paper figure — the deployment questions Section IV-D raises:
+how the Theorem-1 table moves with the refresh window, tRFM, and tRC.
+Expected shapes: a 64 ms window (DDR4-style) roughly doubles the table;
+halving tRFM barely moves it; faster tRC (more ACT slots per window)
+grows it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.sensitivity import (
+    act_rate_sensitivity,
+    refresh_window_sensitivity,
+    rfm_window_sensitivity,
+)
+
+
+def test_sensitivity_sweeps(benchmark, save_rows, repro_scale):
+    def study():
+        return {
+            "trefw": refresh_window_sensitivity(),
+            "trfm": rfm_window_sensitivity(),
+            "trc": act_rate_sensitivity(),
+        }
+
+    result = run_once(benchmark, study)
+    save_rows("sensitivity", result)
+    for name, rows in result.items():
+        print(f"-- {name}")
+        for row in rows:
+            print(
+                f"   {row['value']:>12.2f}  Nentry={row['n_entries']}  "
+                f"KB={row['table_kb']}"
+            )
+
+    trefw = {row["value"]: row["n_entries"] for row in result["trefw"]}
+    assert trefw[64e6] > 1.5 * trefw[32e6]
+    assert trefw[16e6] < trefw[32e6]
+
+    trfm = [row["n_entries"] for row in result["trfm"]]
+    assert max(trfm) <= 1.2 * min(trfm)  # tRFM is a second-order effect
+
+    trc = {round(row["value"], 2): row["n_entries"]
+           for row in result["trc"]}
+    fastest, slowest = min(trc), max(trc)
+    assert trc[fastest] >= trc[slowest]

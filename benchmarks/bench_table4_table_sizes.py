@@ -1,0 +1,47 @@
+"""Table IV: per-bank table size comparison.
+
+Expected shape: Mithril rows are the smallest at (almost) every FlipTH;
+TWiCe is an order of magnitude above Graphene; BlockHammer's row
+matches the paper's KB values almost exactly.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+PAPER_BLOCKHAMMER = {
+    50_000: 3.75, 25_000: 3.5, 12_500: 3.25,
+    6_250: 6.0, 3_125: 11.0, 1_500: 18.0,
+}
+PAPER_MITHRIL_32 = {
+    50_000: 0.06, 25_000: 0.13, 12_500: 0.27,
+    6_250: 0.57, 3_125: 1.38, 1_500: 4.64,
+}
+
+
+def test_table4_sizes(benchmark, save_rows, repro_scale):
+    table = run_once(benchmark, table4.run)
+    save_rows("table4", table)
+    table4.print_rows(table)
+
+    blockhammer = table["BlockHammer @ MC"]
+    for flip_th, expected in PAPER_BLOCKHAMMER.items():
+        assert blockhammer[flip_th] == pytest.approx(expected, rel=0.15)
+
+    mithril32 = table["Mithril-32 @ DRAM"]
+    for flip_th, expected in PAPER_MITHRIL_32.items():
+        assert mithril32[flip_th] == pytest.approx(expected, rel=0.45)
+
+    for flip_th in (50_000, 25_000, 12_500, 6_250):
+        assert table["TWiCe @ buffer chip"][flip_th] > 5 * table[
+            "Graphene @ MC"
+        ][flip_th]
+        assert mithril32[flip_th] < table["Graphene @ MC"][flip_th]
+        assert mithril32[flip_th] < blockhammer[flip_th] / 4
+
+
+def test_table4_regenerates_quickly(benchmark):
+    """The analytic model is cheap enough to embed anywhere."""
+    table = benchmark(table4.run)
+    assert table

@@ -1,0 +1,50 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one table/figure of the paper: it runs the
+experiment driver under pytest-benchmark (one round — these are
+simulations, not microbenchmarks), prints the same rows the paper
+reports, and saves the raw rows to ``results/<id>.json`` for
+EXPERIMENTS.md.
+
+``--repro-scale`` adjusts trace lengths (default 0.5 keeps the full
+suite in a few minutes; 1.0+ tightens the statistics).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        type=float,
+        default=0.5,
+        help="trace-length multiplier for simulation benches",
+    )
+
+
+@pytest.fixture
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def save_rows():
+    def _save(name, rows):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with (RESULTS_DIR / f"{name}.json").open("w") as handle:
+            json.dump(rows, handle, indent=2, default=str)
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

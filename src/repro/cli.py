@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+experiment <id>     Run a paper experiment (fig2, fig6, ..., table4).
+list                List available experiments.
+safety <scheme>     Replay an attack against a scheme and report.
+configure           Print safe Mithril configurations for a FlipTH.
+schemes             List registered protection schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+
+from repro.core.config import configuration_curve
+from repro.experiments.runner import EXPERIMENTS
+from repro.protection import build_scheme, scheme_names
+from repro.verify.adversary import (
+    double_sided_stream,
+    many_sided_stream,
+    round_robin_stream,
+)
+from repro.verify.safety import run_safety_trace
+
+
+def _cmd_list(_args) -> int:
+    for name, (_module, description) in EXPERIMENTS.items():
+        print(f"{name:<16} {description}")
+    return 0
+
+
+def _cmd_schemes(_args) -> int:
+    for name in scheme_names():
+        print(name)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    module = importlib.import_module(EXPERIMENTS[args.id][0])
+    kwargs = {"scale": args.scale}
+    result = module.run(**kwargs)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    elif args.markdown:
+        from repro.analysis.report import format_experiment
+
+        print(format_experiment(args.id, result))
+    else:
+        module.print_rows(result)
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.core.config import paper_default_config
+    from repro.core.mithril import MithrilScheme
+    from repro.verify.fuzzer import fuzz_scheme
+
+    config = paper_default_config(args.flip_th, adaptive_th=200)
+    results = fuzz_scheme(
+        lambda: MithrilScheme(
+            n_entries=config.n_entries,
+            rfm_th=config.rfm_th,
+            adaptive_th=config.adaptive_th,
+        ),
+        flip_th=args.flip_th,
+        rfm_th=config.rfm_th,
+        iterations=args.iterations,
+        acts_per_pattern=args.acts,
+        seed=args.seed,
+    )
+    print(f"{'pattern':<32} {'max disturbance':>16} {'flips':>6}")
+    for result in results[:10]:
+        print(
+            f"{result.pattern.name:<32} "
+            f"{result.report.max_disturbance:>16.0f} "
+            f"{len(result.report.flips):>6}"
+        )
+    worst = results[0]
+    print()
+    print(
+        f"worst pattern reached {worst.disturbance_ratio:.1%} of "
+        f"FlipTH={args.flip_th}"
+    )
+    return 0 if all(r.report.safe for r in results) else 1
+
+
+def _cmd_configure(args) -> int:
+    configs = configuration_curve(args.flip_th, adaptive_th=args.adaptive_th)
+    if not configs:
+        print(f"no feasible configuration for FlipTH={args.flip_th}")
+        return 1
+    print(f"{'RFM_TH':>7} {'Nentry':>8} {'bound M':>10} {'table KB':>9}")
+    for config in configs:
+        print(
+            f"{config.rfm_th:>7} {config.n_entries:>8} "
+            f"{config.bound:>10.1f} {config.table_kilobytes():>9.3f}"
+        )
+    return 0
+
+
+_ATTACKS = {
+    "double-sided": lambda acts: double_sided_stream(1000, acts),
+    "many-sided": lambda acts: many_sided_stream(33, acts),
+    "round-robin": lambda acts: round_robin_stream(1024, acts),
+}
+
+
+def _cmd_safety(args) -> int:
+    kwargs = {}
+    if args.scheme in ("mithril", "mithril+"):
+        from repro.core.config import paper_default_config
+
+        config = paper_default_config(args.flip_th, adaptive_th=200)
+        kwargs = dict(
+            n_entries=config.n_entries,
+            rfm_th=config.rfm_th,
+            adaptive_th=config.adaptive_th,
+        )
+        rfm_th = config.rfm_th
+    else:
+        rfm_th = args.rfm_th
+        for key in ("graphene", "twice", "cbt", "blockhammer", "para"):
+            if args.scheme == key:
+                kwargs = dict(flip_th=args.flip_th)
+    scheme = build_scheme(args.scheme, **kwargs)
+    report = run_safety_trace(
+        scheme,
+        _ATTACKS[args.attack](args.acts),
+        flip_th=args.flip_th,
+        rfm_th=rfm_th,
+    )
+    print(f"scheme:            {report.scheme_name}")
+    print(f"attack:            {args.attack} ({report.acts_replayed} ACTs)")
+    print(f"flips:             {len(report.flips)}")
+    print(f"max disturbance:   {report.max_disturbance:.0f} "
+          f"(FlipTH {report.flip_th})")
+    print(f"headroom:          {report.headroom:.1%}")
+    print(f"preventive rows:   {report.preventive_refresh_rows}")
+    print(f"rfm commands:      {report.rfm_commands}")
+    return 0 if report.safe else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mithril (HPCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("schemes", help="list schemes").set_defaults(
+        func=_cmd_schemes
+    )
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--scale", type=float, default=1.0,
+                       help="trace-length multiplier (default 1.0)")
+    p_exp.add_argument("--json", action="store_true",
+                       help="emit raw JSON rows")
+    p_exp.add_argument("--markdown", action="store_true",
+                       help="emit a markdown table")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="randomized adversary search against Mithril"
+    )
+    p_fuzz.add_argument("--flip-th", type=int, default=3_125)
+    p_fuzz.add_argument("--iterations", type=int, default=20)
+    p_fuzz.add_argument("--acts", type=int, default=60_000)
+    p_fuzz.add_argument("--seed", type=int, default=1337)
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_cfg = sub.add_parser("configure", help="search Mithril configs")
+    p_cfg.add_argument("flip_th", type=int)
+    p_cfg.add_argument("--adaptive-th", type=int, default=0)
+    p_cfg.set_defaults(func=_cmd_configure)
+
+    p_safe = sub.add_parser("safety", help="replay an attack")
+    p_safe.add_argument("scheme", choices=scheme_names())
+    p_safe.add_argument("--attack", choices=sorted(_ATTACKS),
+                        default="double-sided")
+    p_safe.add_argument("--flip-th", type=int, default=3_125)
+    p_safe.add_argument("--rfm-th", type=int, default=64)
+    p_safe.add_argument("--acts", type=int, default=200_000)
+    p_safe.set_defaults(func=_cmd_safety)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

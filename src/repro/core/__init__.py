@@ -1,0 +1,26 @@
+"""The paper's primary contribution: Mithril and its analytical bounds."""
+
+from repro.core.bounds import (
+    adaptive_bound,
+    estimated_growth_bound,
+    rfm_intervals_per_window,
+)
+from repro.core.config import (
+    MithrilConfig,
+    configuration_curve,
+    lossy_counting_entries,
+    min_entries_for,
+)
+from repro.core.mithril import MithrilScheme, MithrilTable
+
+__all__ = [
+    "MithrilScheme",
+    "MithrilTable",
+    "MithrilConfig",
+    "estimated_growth_bound",
+    "adaptive_bound",
+    "rfm_intervals_per_window",
+    "configuration_curve",
+    "min_entries_for",
+    "lossy_counting_entries",
+]

@@ -1,0 +1,134 @@
+"""Theorems 1 and 2 of the paper: the bound M on estimated-count growth.
+
+Theorem 1.  Within any tREFW, the increase of the estimated count of
+any single row under Mithril's greedy-selection policy is bounded by
+
+    M = sum_{k=1}^{N} RFM_TH / k  +  (RFM_TH / N) * (W - 2)
+
+where ``N`` is the number of Mithril table entries and ``W`` is the
+number of RFM intervals fitting in one tREFW:
+
+    W = ceil( (tREFW - (tREFW / tREFI) * tRFC) / (tRC * RFM_TH + tRFM) )
+
+Setting ``M < FlipTH / 2`` guarantees deterministic protection against
+double-sided RowHammer (``M < FlipTH / blast_multiplier`` in general,
+Section V-C; the paper uses 3.5 for a blast range of 3).
+
+Theorem 2 (adaptive refresh).  With the adaptive threshold AdTH the
+bound loosens to
+
+    M' = sum_{k=1}^{n*} RFM_TH / k
+         + ((W - n* + N - 2) * RFM_TH + (N - n*) * AdTH) / N
+    n* = ceil(N * RFM_TH / (RFM_TH + AdTH))
+
+which reduces to M when AdTH = 0 (then n* = N).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.params import DramTimings
+
+
+def harmonic(n: int) -> float:
+    """H(n) = sum_{k=1}^{n} 1/k, exact for small n, asymptotic for large."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n < 10_000:
+        return sum(1.0 / k for k in range(1, n + 1))
+    # Euler-Maclaurin expansion; error < 1e-12 for n >= 10_000.
+    gamma = 0.5772156649015328606
+    return math.log(n) + gamma + 1.0 / (2 * n) - 1.0 / (12 * n * n)
+
+
+def rfm_intervals_per_window(
+    rfm_th: int, timings: Optional[DramTimings] = None
+) -> int:
+    """``W``: the number of RFM intervals inside one tREFW window."""
+    timings = timings or DramTimings()
+    return timings.rfm_intervals_per_trefw(rfm_th)
+
+
+def estimated_growth_bound(
+    n_entries: int,
+    rfm_th: int,
+    timings: Optional[DramTimings] = None,
+) -> float:
+    """Theorem 1: the bound ``M`` on per-row estimated-count growth.
+
+    For the (impractical) corner where the table is larger than the
+    number of RFM intervals (N > W) the harmonic sum is truncated at W,
+    which keeps the bound conservative.
+    """
+    if n_entries <= 0:
+        raise ValueError(f"n_entries must be positive, got {n_entries}")
+    if rfm_th <= 0:
+        raise ValueError(f"rfm_th must be positive, got {rfm_th}")
+    w = rfm_intervals_per_window(rfm_th, timings)
+    depth = min(n_entries, w)
+    bound = rfm_th * harmonic(depth)
+    bound += rfm_th * max(w - n_entries, 0) / n_entries
+    bound += rfm_th * max(n_entries - 2, 0) / n_entries
+    return bound
+
+
+def adaptive_bound(
+    n_entries: int,
+    rfm_th: int,
+    adaptive_th: int,
+    timings: Optional[DramTimings] = None,
+) -> float:
+    """Theorem 2: the bound ``M'`` under the adaptive refresh policy."""
+    if adaptive_th < 0:
+        raise ValueError(f"adaptive_th must be non-negative, got {adaptive_th}")
+    if adaptive_th == 0:
+        return estimated_growth_bound(n_entries, rfm_th, timings)
+    if n_entries <= 0 or rfm_th <= 0:
+        raise ValueError("n_entries and rfm_th must be positive")
+    w = rfm_intervals_per_window(rfm_th, timings)
+    n = n_entries
+    n_star = math.ceil(n * rfm_th / (rfm_th + adaptive_th))
+    n_star = max(1, min(n_star, n))
+    bound = rfm_th * harmonic(min(n_star, w))
+    bound += ((w - n_star + n - 2) * rfm_th + (n - n_star) * adaptive_th) / n
+    # M' is never smaller than M (skipping refreshes cannot help safety).
+    return max(bound, estimated_growth_bound(n_entries, rfm_th, timings))
+
+
+def is_safe(
+    n_entries: int,
+    rfm_th: int,
+    flip_th: int,
+    adaptive_th: int = 0,
+    blast_multiplier: float = 2.0,
+    timings: Optional[DramTimings] = None,
+) -> bool:
+    """True when the configuration deterministically protects ``flip_th``.
+
+    ``blast_multiplier`` is 2 for double-sided attacks; 3.5 within a
+    blast range of 3 (Section V-C).
+    """
+    bound = adaptive_bound(n_entries, rfm_th, adaptive_th, timings)
+    return bound < flip_th / blast_multiplier
+
+
+def max_counter_spread(rfm_th: int, n_entries: int) -> int:
+    """Upper bound on (max - min) counter difference in the Mithril table.
+
+    The proof of Theorem 1 shows that at the spread-maximizing interval
+    the top-to-bottom difference is at most RFM_TH; within one interval
+    it can grow by at most RFM_TH more, so 2 * RFM_TH bounds the spread
+    at any instant.  The wrapping counter must distinguish values in a
+    window of this size (Section IV-E).
+    """
+    if rfm_th <= 0 or n_entries <= 0:
+        raise ValueError("rfm_th and n_entries must be positive")
+    return 2 * rfm_th
+
+
+def wrapping_counter_bits(rfm_th: int, n_entries: int, margin: int = 1) -> int:
+    """Bits for the wrapping counter: spread window plus a safety margin."""
+    spread = max_counter_spread(rfm_th, n_entries)
+    return max(1, math.ceil(math.log2(spread + 1))) + margin

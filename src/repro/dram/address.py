@@ -1,0 +1,116 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+Uses the common row:rank:bank:channel:column:offset interleaving so that
+consecutive cache lines first stripe across channels, then banks —
+maximizing bank-level parallelism for streaming workloads, exactly the
+behaviour that creates the bursty per-row ACT patterns of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.params import DramOrganization
+from repro.types import BankAddress, RowAddress
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    row: RowAddress
+    column: int
+
+    @property
+    def bank(self) -> BankAddress:
+        return self.row.bank
+
+
+class AddressMapper:
+    """Bidirectional physical-address <-> (channel, rank, bank, row, col)."""
+
+    def __init__(self, organization: Optional[DramOrganization] = None):
+        org = organization or DramOrganization()
+        for name, value in (
+            ("channels", org.channels),
+            ("ranks_per_channel", org.ranks_per_channel),
+            ("banks_per_rank", org.banks_per_rank),
+            ("rows_per_bank", org.rows_per_bank),
+            ("columns_per_row", org.columns_per_row),
+            ("cacheline_bytes", org.cacheline_bytes),
+        ):
+            if not _is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        self.organization = org
+        self._offset_bits = org.cacheline_bytes.bit_length() - 1
+        self._channel_bits = org.channels.bit_length() - 1
+        self._bank_bits = org.banks_per_rank.bit_length() - 1
+        self._rank_bits = org.ranks_per_channel.bit_length() - 1
+        self._column_bits = org.columns_per_row.bit_length() - 1
+        self._row_bits = org.rows_per_bank.bit_length() - 1
+
+    @property
+    def capacity_bytes(self) -> int:
+        org = self.organization
+        return (
+            org.channels
+            * org.ranks_per_channel
+            * org.banks_per_rank
+            * org.rows_per_bank
+            * org.row_size_bytes
+        )
+
+    def decode(self, physical_address: int) -> DecodedAddress:
+        """Split a physical byte address into DRAM coordinates."""
+        if physical_address < 0:
+            raise ValueError(f"address must be non-negative, got {physical_address}")
+        if physical_address >= self.capacity_bytes:
+            raise ValueError(
+                f"address {physical_address:#x} beyond capacity "
+                f"{self.capacity_bytes:#x}"
+            )
+        value = physical_address >> self._offset_bits
+        channel = value & (self.organization.channels - 1)
+        value >>= self._channel_bits
+        bank = value & (self.organization.banks_per_rank - 1)
+        value >>= self._bank_bits
+        rank = value & (self.organization.ranks_per_channel - 1)
+        value >>= self._rank_bits
+        column = value & (self.organization.columns_per_row - 1)
+        value >>= self._column_bits
+        row = value & (self.organization.rows_per_bank - 1)
+        return DecodedAddress(
+            row=RowAddress(BankAddress(channel, rank, bank), row),
+            column=column,
+        )
+
+    def encode(self, row: RowAddress, column: int = 0) -> int:
+        """Inverse of :meth:`decode`."""
+        org = self.organization
+        if not 0 <= column < org.columns_per_row:
+            raise ValueError(f"column {column} out of range")
+        if not 0 <= row.row < org.rows_per_bank:
+            raise ValueError(f"row {row.row} out of range")
+        bank = row.bank
+        value = row.row
+        value = (value << self._column_bits) | column
+        value = (value << self._rank_bits) | bank.rank
+        value = (value << self._bank_bits) | bank.bank
+        value = (value << self._channel_bits) | bank.channel
+        return value << self._offset_bits
+
+    def flat_bank_index(self, bank: BankAddress) -> int:
+        org = self.organization
+        return bank.flat_index(org.ranks_per_channel, org.banks_per_rank)
+
+    def all_banks(self) -> Tuple[BankAddress, ...]:
+        org = self.organization
+        return tuple(
+            BankAddress(channel, rank, bank)
+            for channel in range(org.channels)
+            for rank in range(org.ranks_per_channel)
+            for bank in range(org.banks_per_rank)
+        )

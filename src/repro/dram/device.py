@@ -1,0 +1,178 @@
+"""DRAM device aggregation: the chip of the paper's Figure 4.
+
+A :class:`DramChip` holds one Mithril-style protection module per bank,
+a mode-register file (for the Mithril+ flag), and a command decoder
+that routes ACT / REF / RFM / MRR commands to the right bank module —
+the hardware organization the paper synthesizes.
+
+The performance simulator drives banks directly for speed; this layer
+exists for interface fidelity (command-level tests, the Mithril+ MRR
+path, and per-chip area/energy accounting) and for downstream users who
+want a device-level mental model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.hammer import HammerModel
+from repro.dram.refresh import AutoRefreshEngine
+from repro.params import DramOrganization, DramTimings
+from repro.protection import NoProtection, ProtectionScheme
+from repro.types import CommandKind
+
+
+#: Mode-register address holding the Mithril+ "RFM worth issuing" flag.
+MR_RFM_FLAG = 58
+
+
+@dataclass
+class DramCommand:
+    """One decoded command on the device interface."""
+
+    kind: CommandKind
+    bank: int = 0
+    row: Optional[int] = None
+    cycle: int = 0
+
+
+class CommandError(Exception):
+    """An illegal command sequence reached the device."""
+
+
+class DramChip:
+    """One DRAM chip: per-bank protection modules + mode registers."""
+
+    def __init__(
+        self,
+        scheme_factory: Optional[Callable[[], ProtectionScheme]] = None,
+        timings: Optional[DramTimings] = None,
+        organization: Optional[DramOrganization] = None,
+        flip_th: int = 10_000,
+        track_hammer: bool = True,
+    ):
+        self.timings = timings or DramTimings()
+        self.organization = organization or DramOrganization()
+        self.num_banks = self.organization.banks_per_rank
+        factory = scheme_factory or NoProtection
+        self.schemes: List[ProtectionScheme] = [
+            factory() for _ in range(self.num_banks)
+        ]
+        self.refresh_engines = [
+            AutoRefreshEngine(self.timings, self.organization)
+            for _ in range(self.num_banks)
+        ]
+        self.hammer: List[Optional[HammerModel]] = [
+            HammerModel(flip_th, self.organization.rows_per_bank)
+            if track_hammer
+            else None
+            for _ in range(self.num_banks)
+        ]
+        self.mode_registers: Dict[int, int] = {MR_RFM_FLAG: 1}
+        self.commands_processed = 0
+        self.preventive_refreshes = 0
+
+    # ------------------------------------------------------------------
+
+    def _check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.num_banks:
+            raise CommandError(
+                f"bank {bank} out of range (chip has {self.num_banks})"
+            )
+
+    def execute(self, command: DramCommand) -> List[int]:
+        """Execute one command; returns rows preventively refreshed."""
+        self.commands_processed += 1
+        if command.kind is CommandKind.ACT:
+            return self._on_act(command)
+        if command.kind is CommandKind.RFM:
+            return self._on_rfm(command)
+        if command.kind is CommandKind.REF:
+            return self._on_ref(command)
+        if command.kind in (CommandKind.PRE, CommandKind.RD, CommandKind.WR):
+            self._check_bank(command.bank)
+            return []
+        raise CommandError(f"unsupported command {command.kind}")
+
+    def _on_act(self, command: DramCommand) -> List[int]:
+        self._check_bank(command.bank)
+        if command.row is None:
+            raise CommandError("ACT requires a row address")
+        scheme = self.schemes[command.bank]
+        hammer = self.hammer[command.bank]
+        if hammer is not None:
+            hammer.on_activate(command.row, command.cycle)
+        victims = scheme.on_activate(command.row, command.cycle)
+        self._refresh_victims(command.bank, victims)
+        self._update_flag(command.bank)
+        return victims
+
+    def _on_rfm(self, command: DramCommand) -> List[int]:
+        self._check_bank(command.bank)
+        victims = self.schemes[command.bank].on_rfm(command.cycle)
+        self._refresh_victims(command.bank, victims)
+        self._update_flag(command.bank)
+        return victims
+
+    def _on_ref(self, command: DramCommand) -> List[int]:
+        self._check_bank(command.bank)
+        engine = self.refresh_engines[command.bank]
+        tick = engine.pop_tick(max(command.cycle, engine.next_tick_cycle))
+        if tick is None:
+            return []
+        _cycle, first_row, last_row = tick
+        hammer = self.hammer[command.bank]
+        if hammer is not None:
+            hammer.on_refresh_range(first_row, last_row)
+        self.schemes[command.bank].on_autorefresh(
+            first_row, last_row, command.cycle
+        )
+        return []
+
+    def _refresh_victims(self, bank: int, victims: List[int]) -> None:
+        if not victims:
+            return
+        self.preventive_refreshes += len(victims)
+        hammer = self.hammer[bank]
+        if hammer is not None:
+            for victim in victims:
+                hammer.on_refresh_row(victim)
+
+    # ------------------------------------------------------------------
+    # mode registers (the Mithril+ MRR path)
+    # ------------------------------------------------------------------
+
+    def _update_flag(self, bank: int) -> None:
+        """Expose whether *any* bank wants the next RFM via MR58.
+
+        Hardware exposes per-bank flags; a single OR-reduced register
+        is sufficient for the per-bank MC logic modelled here because
+        the MC reads it right before a bank-targeted RFM.
+        """
+        self.mode_registers[MR_RFM_FLAG] = int(
+            self.schemes[bank].rfm_needed_flag()
+        )
+
+    def mode_register_read(self, address: int) -> int:
+        """The JEDEC MRR command."""
+        try:
+            return self.mode_registers[address]
+        except KeyError:
+            raise CommandError(f"mode register {address} not implemented")
+
+    def mode_register_write(self, address: int, value: int) -> None:
+        self.mode_registers[address] = value
+
+    # ------------------------------------------------------------------
+
+    @property
+    def flip_count(self) -> int:
+        return sum(h.flip_count for h in self.hammer if h is not None)
+
+    @property
+    def max_disturbance(self) -> float:
+        return max(
+            (h.max_disturbance for h in self.hammer if h is not None),
+            default=0.0,
+        )

@@ -1,0 +1,126 @@
+"""Figure 10: RFM-interface-compatible scheme comparison.
+
+Panels (a)-(c): relative performance of PARFM, BlockHammer, Mithril,
+and Mithril+ under normal workloads, a multi-sided RowHammer attack,
+and the BlockHammer-adversarial pattern, across FlipTH values.
+
+Panel (d): dynamic-energy overhead on normal workloads.
+Panel (e): table-size comparison (from the analytic area model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.area import blockhammer_table_kb, mithril_table_kb
+from repro.analysis.energy import energy_overhead_percent
+from repro.experiments.runner import (
+    attack_workload,
+    geo_mean,
+    normal_workloads,
+    scheme_under_test,
+)
+from repro.params import MITHRIL_DEFAULT_RFM_TH, PAPER_FLIP_THRESHOLDS
+from repro.sim.system import simulate
+
+DEFAULT_SCHEMES = ("parfm", "blockhammer", "mithril", "mithril+")
+
+
+#: Benign-mix seeds the attack panels are averaged over.
+ATTACK_SEEDS = (31, 41, 51)
+
+
+def run(
+    flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    scale: float = 1.0,
+    attack_seeds: Sequence[int] = ATTACK_SEEDS,
+) -> List[Dict]:
+    benign = normal_workloads(scale)
+    benign_baselines = {
+        name: simulate(traces) for name, traces in benign.items()
+    }
+    rows = []
+    for flip_th in flip_thresholds:
+        attacks = {
+            kind: [
+                attack_workload(kind, scale, flip_th=flip_th, seed=seed)
+                for seed in attack_seeds
+            ]
+            for kind in ("multi-sided", "bh-adversarial")
+        }
+        attack_baselines = {
+            kind: [simulate(traces, flip_th=flip_th) for traces in runs]
+            for kind, runs in attacks.items()
+        }
+        for scheme_name in schemes:
+            factory, rfm_th = scheme_under_test(scheme_name, flip_th, scale)
+            rels = []
+            energies = []
+            for name, traces in benign.items():
+                result = simulate(
+                    traces, scheme_factory=factory, rfm_th=rfm_th,
+                    flip_th=flip_th,
+                )
+                rels.append(
+                    result.relative_performance(benign_baselines[name])
+                )
+                energies.append(
+                    max(
+                        energy_overhead_percent(
+                            result, benign_baselines[name]
+                        ),
+                        1e-6,
+                    )
+                )
+            attack_rel = {}
+            for name, runs in attacks.items():
+                values = []
+                for traces, baseline in zip(runs, attack_baselines[name]):
+                    result = simulate(
+                        traces, scheme_factory=factory, rfm_th=rfm_th,
+                        flip_th=flip_th,
+                    )
+                    values.append(result.relative_performance(baseline))
+                attack_rel[name] = round(sum(values) / len(values), 3)
+            rows.append(
+                {
+                    "flip_th": flip_th,
+                    "scheme": scheme_name,
+                    "normal_rel_perf_pct": round(geo_mean(rels), 3),
+                    "multi_sided_rel_perf_pct": attack_rel["multi-sided"],
+                    "bh_adversarial_rel_perf_pct": attack_rel[
+                        "bh-adversarial"
+                    ],
+                    "normal_energy_overhead_pct": round(geo_mean(energies), 4),
+                    "table_kb": _table_kb(scheme_name, flip_th),
+                }
+            )
+    return rows
+
+
+def _table_kb(scheme_name: str, flip_th: int):
+    if scheme_name == "blockhammer":
+        return round(blockhammer_table_kb(flip_th), 3)
+    if scheme_name in ("mithril", "mithril+"):
+        kb = mithril_table_kb(
+            flip_th, MITHRIL_DEFAULT_RFM_TH.get(flip_th), adaptive_th=200
+        )
+        return round(kb, 3) if kb is not None else None
+    return 0.0  # PARFM holds no table
+
+
+def print_rows(rows: List[Dict]) -> None:
+    print(
+        f"{'FlipTH':>7} {'scheme':>12} {'normal%':>8} {'multiRH%':>9} "
+        f"{'BHadv%':>8} {'E-ovh%':>8} {'KB':>7}"
+    )
+    for row in rows:
+        kb = row["table_kb"] if row["table_kb"] is not None else "-"
+        print(
+            f"{row['flip_th']:>7} {row['scheme']:>12} "
+            f"{row['normal_rel_perf_pct']:>8} "
+            f"{row['multi_sided_rel_perf_pct']:>9} "
+            f"{row['bh_adversarial_rel_perf_pct']:>8} "
+            f"{row['normal_energy_overhead_pct']:>8} {kb:>7}"
+        )

@@ -1,0 +1,98 @@
+"""Figure 11: comparison with RFM-non-compatible schemes.
+
+PARA, CBT, TWiCe, Graphene vs Mithril and Mithril+: relative
+performance on normal workloads and under the multi-sided attack, plus
+dynamic-energy overhead on normal workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.energy import energy_overhead_percent
+from repro.experiments.runner import (
+    attack_workload,
+    geo_mean,
+    normal_workloads,
+    scheme_under_test,
+)
+from repro.params import PAPER_FLIP_THRESHOLDS
+from repro.sim.system import simulate
+
+DEFAULT_SCHEMES = ("para", "cbt", "twice", "graphene", "mithril", "mithril+")
+
+
+def run(
+    flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    scale: float = 1.0,
+) -> List[Dict]:
+    benign = normal_workloads(scale)
+    benign_baselines = {
+        name: simulate(traces) for name, traces in benign.items()
+    }
+    rows = []
+    attack_seeds = (31, 41, 51)
+    for flip_th in flip_thresholds:
+        attack_runs = [
+            attack_workload("multi-sided", scale, flip_th=flip_th, seed=seed)
+            for seed in attack_seeds
+        ]
+        attack_baselines = [
+            simulate(traces, flip_th=flip_th) for traces in attack_runs
+        ]
+        for scheme_name in schemes:
+            factory, rfm_th = scheme_under_test(scheme_name, flip_th, scale)
+            rels = []
+            energies = []
+            for name, traces in benign.items():
+                result = simulate(
+                    traces, scheme_factory=factory, rfm_th=rfm_th,
+                    flip_th=flip_th,
+                )
+                rels.append(
+                    result.relative_performance(benign_baselines[name])
+                )
+                energies.append(
+                    max(
+                        energy_overhead_percent(
+                            result, benign_baselines[name]
+                        ),
+                        1e-6,
+                    )
+                )
+            attack_rels = []
+            for traces, baseline in zip(attack_runs, attack_baselines):
+                attack_result = simulate(
+                    traces, scheme_factory=factory, rfm_th=rfm_th,
+                    flip_th=flip_th,
+                )
+                attack_rels.append(
+                    attack_result.relative_performance(baseline)
+                )
+            rows.append(
+                {
+                    "flip_th": flip_th,
+                    "scheme": scheme_name,
+                    "normal_rel_perf_pct": round(geo_mean(rels), 3),
+                    "multi_sided_rel_perf_pct": round(
+                        sum(attack_rels) / len(attack_rels), 3
+                    ),
+                    "normal_energy_overhead_pct": round(geo_mean(energies), 4),
+                }
+            )
+    return rows
+
+
+def print_rows(rows: List[Dict]) -> None:
+    print(
+        f"{'FlipTH':>7} {'scheme':>10} {'normal%':>9} {'multiRH%':>9} "
+        f"{'E-ovh%':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['flip_th']:>7} {row['scheme']:>10} "
+            f"{row['normal_rel_perf_pct']:>9} "
+            f"{row['multi_sided_rel_perf_pct']:>9} "
+            f"{row['normal_energy_overhead_pct']:>8}"
+        )

@@ -1,0 +1,102 @@
+"""Figure 9: Mithril vs Mithril+ performance/area trade-off.
+
+For each (FlipTH, RFM_TH) pair of the paper's sweep, report the
+relative performance (geomean over the benign suite) of Mithril and
+Mithril+ and the table size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import MithrilConfig, min_entries_for
+from repro.core.mithril import MithrilScheme
+from repro.experiments.runner import geo_mean, normal_workloads
+from repro.params import DEFAULT_ADAPTIVE_THRESHOLD
+from repro.sim.system import simulate
+
+#: The paper's x-axis: (FlipTH, RFM_TH) pairs from Figure 9.
+DEFAULT_SWEEP = (
+    (12_500, 512),
+    (12_500, 256),
+    (12_500, 128),
+    (6_250, 256),
+    (6_250, 128),
+    (6_250, 64),
+    (3_125, 128),
+    (3_125, 64),
+    (3_125, 32),
+    (1_500, 32),
+)
+
+
+def run(
+    sweep: Sequence[Tuple[int, int]] = DEFAULT_SWEEP,
+    adaptive_th: int = DEFAULT_ADAPTIVE_THRESHOLD,
+    scale: float = 1.0,
+) -> List[Dict]:
+    workloads = normal_workloads(scale)
+    baselines = {
+        name: simulate(traces) for name, traces in workloads.items()
+    }
+    rows = []
+    for flip_th, rfm_th in sweep:
+        n = min_entries_for(flip_th, rfm_th, adaptive_th)
+        if n is None:
+            rows.append(
+                {
+                    "flip_th": flip_th,
+                    "rfm_th": rfm_th,
+                    "feasible": False,
+                }
+            )
+            continue
+        config = MithrilConfig(
+            flip_th=flip_th, rfm_th=rfm_th, n_entries=n,
+            adaptive_th=adaptive_th,
+        )
+        perf = {}
+        for plus in (False, True):
+            rels = []
+            for name, traces in workloads.items():
+                result = simulate(
+                    traces,
+                    scheme_factory=lambda: MithrilScheme(
+                        n_entries=n,
+                        rfm_th=rfm_th,
+                        adaptive_th=adaptive_th,
+                        plus=plus,
+                    ),
+                    rfm_th=rfm_th,
+                    flip_th=flip_th,
+                )
+                rels.append(result.relative_performance(baselines[name]))
+            perf["mithril+" if plus else "mithril"] = round(geo_mean(rels), 3)
+        rows.append(
+            {
+                "flip_th": flip_th,
+                "rfm_th": rfm_th,
+                "feasible": True,
+                "n_entries": n,
+                "table_kb": round(config.table_kilobytes(), 3),
+                "mithril_rel_perf_pct": perf["mithril"],
+                "mithril_plus_rel_perf_pct": perf["mithril+"],
+            }
+        )
+    return rows
+
+
+def print_rows(rows: List[Dict]) -> None:
+    print(
+        f"{'FlipTH':>7} {'RFM_TH':>7} {'KB':>8} "
+        f"{'Mithril%':>9} {'Mithril+%':>10}"
+    )
+    for row in rows:
+        if not row.get("feasible"):
+            print(f"{row['flip_th']:>7} {row['rfm_th']:>7} {'infeasible':>8}")
+            continue
+        print(
+            f"{row['flip_th']:>7} {row['rfm_th']:>7} {row['table_kb']:>8} "
+            f"{row['mithril_rel_perf_pct']:>9} "
+            f"{row['mithril_plus_rel_perf_pct']:>10}"
+        )

@@ -1,0 +1,137 @@
+"""DDR5-faithful Refresh Management state (JESD79-5 RAA counters).
+
+The DDR5 specification defines RFM through three per-bank quantities
+the simplified :class:`~repro.mc.rfm.RaaCounter` abstracts away:
+
+* **RAAIMT** (initial management threshold) — the RAA count at which
+  the MC must start issuing RFM commands; the paper's ``RFM_TH``.
+* **RAAMMT** (maximum management threshold) — a hard cap on the RAA
+  count, expressed as a multiple of RAAIMT; the MC must stop issuing
+  ACTs to a bank whose RAA would exceed it (modelled as a forced RFM).
+* **REF credit** — every all-bank or same-bank REF decrements the RAA
+  counter by ``raa_refresh_decrement`` (the spec allows RAAIMT/2 per
+  REF), acknowledging that auto-refresh also restores victim charge.
+
+This module gives the spec-complete version used by the DDR5-fidelity
+tests and the REF-credit ablation; the performance experiments keep the
+paper's simpler periodic model (they are equivalent when REF credit is
+zero and ACT bursts never outrun the RFM issue slot).
+
+.. warning::
+   REF credit stretches the effective RFM cadence: between RFMs a bank
+   may now absorb more than RAAIMT ACTs.  Mithril's wrapping-counter
+   sizing (spread < AdTH + 2 * RFM_TH, Section IV-E) assumes the
+   no-credit cadence; deployments enabling credit must size the counter
+   field for the stretched interval ``RAAIMT / (1 - credit_rate)`` —
+   the device-level integration test demonstrates the overflow
+   otherwise.  Safety itself is unaffected (auto-refresh restores the
+   victims the credit accounts for).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RfmAction(enum.Enum):
+    """What the MC must do after an ACT, per the DDR5 RAA rules."""
+
+    NONE = "none"                  #: keep going
+    RFM_DUE = "rfm-due"            #: at/above RAAIMT: issue RFM soon
+    ACT_BLOCKED = "act-blocked"    #: at RAAMMT: no ACT until RFM/REF
+
+
+@dataclass
+class Ddr5RaaState:
+    """Per-bank Rolling Accumulated ACT counter with DDR5 semantics."""
+
+    raaimt: int
+    raammt_multiplier: int = 3
+    raa_refresh_decrement: Optional[int] = None
+    value: int = 0
+    rfm_issued: int = 0
+    acts_blocked: int = 0
+
+    def __post_init__(self) -> None:
+        if self.raaimt <= 0:
+            raise ValueError(f"raaimt must be positive, got {self.raaimt}")
+        if self.raammt_multiplier < 1:
+            raise ValueError(
+                f"raammt_multiplier must be >= 1, got {self.raammt_multiplier}"
+            )
+        if self.raa_refresh_decrement is None:
+            # JESD79-5 default: one REF pays back RAAIMT / 2.
+            self.raa_refresh_decrement = max(1, self.raaimt // 2)
+
+    @property
+    def raammt(self) -> int:
+        return self.raaimt * self.raammt_multiplier
+
+    def can_activate(self) -> bool:
+        """False when the RAA counter sits at RAAMMT (ACTs forbidden)."""
+        return self.value < self.raammt
+
+    def on_activate(self) -> RfmAction:
+        """Count one ACT and report the required management action."""
+        if not self.can_activate():
+            self.acts_blocked += 1
+            return RfmAction.ACT_BLOCKED
+        self.value += 1
+        if self.value >= self.raammt:
+            return RfmAction.ACT_BLOCKED
+        if self.value >= self.raaimt:
+            return RfmAction.RFM_DUE
+        return RfmAction.NONE
+
+    def on_rfm(self) -> None:
+        """RFM issued: the RAA counter pays down one RAAIMT."""
+        self.rfm_issued += 1
+        self.value = max(0, self.value - self.raaimt)
+
+    def on_refresh(self) -> None:
+        """REF issued: the spec's refresh credit."""
+        self.value = max(0, self.value - self.raa_refresh_decrement)
+
+
+@dataclass
+class Ddr5RfmPolicy:
+    """MC-side policy draining RAA state: issue RFM at the earliest
+    scheduling slot once RAAIMT is crossed, immediately at RAAMMT.
+
+    ``lazy_slots`` models the spec freedom to defer the RFM for a few
+    ACT slots (batching with other commands); the deterministic safety
+    analysis of the paper assumes 0 (issue at the threshold).
+    """
+
+    raa: Ddr5RaaState
+    lazy_slots: int = 0
+    _pending_slots: int = field(default=0, init=False)
+    _rfm_pending: bool = field(default=False, init=False)
+
+    def on_activate(self) -> bool:
+        """Register an ACT; True when an RFM command goes out now."""
+        action = self.raa.on_activate()
+        if action is RfmAction.ACT_BLOCKED:
+            # The spec forbids further ACTs: the MC must issue the RFM
+            # right away (we model the forced slot as immediate).
+            self._rfm_pending = False
+            self._pending_slots = 0
+            self.raa.on_rfm()
+            return True
+        if action is RfmAction.RFM_DUE and not self._rfm_pending:
+            self._rfm_pending = True
+            self._pending_slots = self.lazy_slots
+        if self._rfm_pending:
+            if self._pending_slots <= 0:
+                self._rfm_pending = False
+                self.raa.on_rfm()
+                return True
+            self._pending_slots -= 1
+        return False
+
+    def on_refresh(self) -> None:
+        self.raa.on_refresh()
+        if self.raa.value < self.raa.raaimt:
+            self._rfm_pending = False

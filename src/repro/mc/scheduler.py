@@ -1,0 +1,122 @@
+"""Request schedulers: FR-FCFS and BLISS.
+
+The scheduler picks which queued request a newly free bank serves.
+
+* FR-FCFS: row hits first, then oldest-first — maximal row-buffer
+  locality but unfair under interference.
+* BLISS (Subramanian et al.): cores that get served many times in a
+  row are blacklisted for an interval and deprioritized, bounding the
+  slowdown that streaming cores (or attackers) inflict on others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.types import MemoryRequest
+
+
+class FrFcfsScheduler:
+    """First-Ready, First-Come-First-Served."""
+
+    name = "frfcfs"
+
+    def pick(
+        self,
+        queue: List[MemoryRequest],
+        open_row: Optional[int],
+        cycle: int,
+        release_of,
+    ) -> Optional[int]:
+        """Index of the request to serve, or None if all are throttled.
+
+        ``release_of(request)`` gives the earliest cycle the request's
+        ACT may happen (RowHammer throttling); requests not yet released
+        are skipped while any released request exists.
+        """
+        best_index = None
+        best_key = None
+        for index, request in enumerate(queue):
+            released = release_of(request) <= cycle
+            row_hit = open_row is not None and request.address.row == open_row
+            # released first, then row hits, then oldest
+            key = (not released, not row_hit, request.arrival_cycle)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+    def on_served(
+        self, core: int, cycle: int, contended: bool = True
+    ) -> None:  # pragma: no cover
+        pass
+
+
+class BlissScheduler:
+    """BLISS: blacklist cores served too many times consecutively."""
+
+    name = "bliss"
+
+    def __init__(
+        self,
+        blacklist_threshold: int = 4,
+        blacklist_cycles: int = 24_000,  # ~10us of DDR5-4800 command clock
+    ):
+        self.blacklist_threshold = blacklist_threshold
+        self.blacklist_cycles = blacklist_cycles
+        self._last_core: Optional[int] = None
+        self._streak = 0
+        self._blacklist_until: Dict[int, int] = {}
+
+    def _blacklisted(self, core: int, cycle: int) -> bool:
+        return self._blacklist_until.get(core, -1) > cycle
+
+    def pick(
+        self,
+        queue: List[MemoryRequest],
+        open_row: Optional[int],
+        cycle: int,
+        release_of,
+    ) -> Optional[int]:
+        best_index = None
+        best_key = None
+        for index, request in enumerate(queue):
+            released = release_of(request) <= cycle
+            row_hit = open_row is not None and request.address.row == open_row
+            listed = self._blacklisted(request.core, cycle)
+            key = (not released, listed, not row_hit, request.arrival_cycle)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+    def on_served(
+        self, core: int, cycle: int, contended: bool = True
+    ) -> None:
+        """Track service streaks; only contended serves build a streak.
+
+        BLISS exists to bound inter-application interference: a core
+        monopolizing a bank *while others wait* gets blacklisted.
+        Serving a core that is alone in the queue harms nobody, so it
+        must not feed the streak (otherwise every streaming core ends
+        up starved even on an idle memory system).
+        """
+        if not contended:
+            return
+        if core == self._last_core:
+            self._streak += 1
+        else:
+            self._last_core = core
+            self._streak = 1
+        if self._streak >= self.blacklist_threshold:
+            self._blacklist_until[core] = cycle + self.blacklist_cycles
+            self._streak = 0
+
+
+def make_scheduler(name: str):
+    """Factory for the schedulers named in the system configuration."""
+    if name == "frfcfs":
+        return FrFcfsScheduler()
+    if name == "bliss":
+        return BlissScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; use 'frfcfs' or 'bliss'")

@@ -1,0 +1,19 @@
+"""Baseline RowHammer protection schemes the paper compares against."""
+
+from repro.mitigations.para import ParaScheme
+from repro.mitigations.parfm import ParfmScheme
+from repro.mitigations.graphene import GrapheneScheme
+from repro.mitigations.rfm_graphene import RfmGrapheneScheme
+from repro.mitigations.twice import TwiceScheme
+from repro.mitigations.cbt import CbtScheme
+from repro.mitigations.blockhammer import BlockHammerScheme
+
+__all__ = [
+    "ParaScheme",
+    "ParfmScheme",
+    "GrapheneScheme",
+    "RfmGrapheneScheme",
+    "TwiceScheme",
+    "CbtScheme",
+    "BlockHammerScheme",
+]

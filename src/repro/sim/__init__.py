@@ -1,0 +1,15 @@
+"""System simulator: cores + memory controller + DRAM + protection."""
+
+from repro.sim.core import TraceCore
+from repro.sim.tracing import CommandTracer, attach_tracer
+from repro.sim.metrics import SimulationResult
+from repro.sim.system import SimulatedSystem, simulate
+
+__all__ = [
+    "TraceCore",
+    "SimulationResult",
+    "SimulatedSystem",
+    "simulate",
+    "CommandTracer",
+    "attach_tracer",
+]

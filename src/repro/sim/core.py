@@ -1,0 +1,75 @@
+"""Trace-driven core model.
+
+Each core replays its trace with a throughput model: the next request
+issues ``gap_cycles`` after the previous one, except when the core has
+``mlp`` reads outstanding — then it stalls until a read returns.
+Writes are posted (they never block the core).  This reproduces the
+property the evaluation relies on: extra bank-blocking commands delay
+read completions, which stalls cores and lowers aggregate IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.trace import CoreTrace, TraceEntry
+
+
+@dataclass
+class TraceCore:
+    """Replay state for one core."""
+
+    core_id: int
+    trace: CoreTrace
+    mlp: int = 4
+
+    index: int = 0
+    outstanding_reads: int = 0
+    next_issue_cycle: int = 0
+    stalled_on_mlp: bool = False
+    finish_cycle: Optional[int] = None
+    reads_issued: int = 0
+    writes_issued: int = 0
+
+    def done_issuing(self) -> bool:
+        return self.index >= len(self.trace.entries)
+
+    def peek(self) -> TraceEntry:
+        return self.trace.entries[self.index]
+
+    def can_issue(self, cycle: int) -> bool:
+        if self.done_issuing():
+            return False
+        if cycle < self.next_issue_cycle:
+            return False
+        entry = self.peek()
+        if not entry.is_write and self.outstanding_reads >= self.mlp:
+            return False
+        return True
+
+    def issue(self, cycle: int) -> TraceEntry:
+        """Consume the next trace entry at ``cycle``."""
+        entry = self.trace.entries[self.index]
+        self.index += 1
+        if entry.is_write:
+            self.writes_issued += 1
+        else:
+            self.reads_issued += 1
+            self.outstanding_reads += 1
+        gap = 0
+        if not self.done_issuing():
+            gap = self.trace.entries[self.index].gap_cycles
+        self.next_issue_cycle = cycle + max(1, gap)
+        return entry
+
+    def on_read_complete(self, cycle: int) -> None:
+        self.outstanding_reads -= 1
+        if self.outstanding_reads < 0:
+            raise RuntimeError(
+                f"core {self.core_id}: read completion without outstanding read"
+            )
+
+    @property
+    def total_instructions(self) -> int:
+        return self.trace.total_instructions

@@ -1,0 +1,72 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.types import EnergyCounts
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces; the benches derive their rows from this."""
+
+    scheme_name: str
+    total_cycles: int
+    per_core_instructions: List[int]
+    per_core_finish_cycles: List[int]
+    energy: EnergyCounts
+    flips: int = 0
+    max_disturbance: float = 0.0
+    acts: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    rfm_commands: int = 0
+    rfm_elided: int = 0
+    rfms_skipped: int = 0
+    arr_requests: int = 0
+    preventive_refresh_rows: int = 0
+    arr_stall_cycles: int = 0
+    rfm_stall_cycles: int = 0
+    refresh_stall_cycles: int = 0
+    throttle_events: int = 0
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Sum of per-core IPCs (the paper's performance metric)."""
+        total = 0.0
+        for instructions, finish in zip(
+            self.per_core_instructions, self.per_core_finish_cycles
+        ):
+            if finish > 0:
+                total += instructions / finish
+        return total
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = self.row_hits + self.row_misses
+        return self.row_hits / accesses if accesses else 0.0
+
+    def relative_performance(self, baseline: "SimulationResult") -> float:
+        """Aggregate IPC normalized to an unprotected baseline (in %)."""
+        base = baseline.aggregate_ipc
+        if base == 0:
+            return 0.0
+        return 100.0 * self.aggregate_ipc / base
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "scheme": self.scheme_name,
+            "cycles": self.total_cycles,
+            "aggregate_ipc": round(self.aggregate_ipc, 4),
+            "acts": self.acts,
+            "row_hit_rate": round(self.row_hit_rate, 4),
+            "rfm_commands": self.rfm_commands,
+            "rfm_elided": self.rfm_elided,
+            "rfms_skipped": self.rfms_skipped,
+            "arr_requests": self.arr_requests,
+            "preventive_refresh_rows": self.preventive_refresh_rows,
+            "flips": self.flips,
+            "max_disturbance": self.max_disturbance,
+        }

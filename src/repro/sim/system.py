@@ -1,0 +1,288 @@
+"""The simulated system: event-driven co-simulation of cores, MC, DRAM.
+
+The event loop carries three event kinds:
+
+* ``issue`` — a core is ready to issue its next trace entry;
+* ``bank`` — a bank is (possibly) free; the channel scheduler picks the
+  next queued request for it;
+* ``complete`` — a read's data burst finished; the owning core retires
+  it and may unstall.
+
+Banks serve one request at a time; the per-bank
+:class:`~repro.mc.controller.BankController` folds in auto-refresh,
+RFM issue, ARR stalls, throttling and the RowHammer fault model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.bank import FawTracker
+from repro.mc.controller import BankController, ChannelState
+from repro.mc.pagepolicy import make_page_policy
+from repro.mc.scheduler import make_scheduler
+from repro.params import DEFAULT_CONFIG, SystemConfig
+from repro.protection import NoProtection, ProtectionScheme
+from repro.sim.core import TraceCore
+from repro.sim.metrics import SimulationResult
+from repro.types import BankAddress, EnergyCounts, MemoryRequest, RowAddress
+from repro.workloads.trace import CoreTrace
+
+
+class SimulatedSystem:
+    """One full system instance, runnable once."""
+
+    def __init__(
+        self,
+        traces: Sequence[CoreTrace],
+        scheme_factory: Optional[Callable[[], ProtectionScheme]] = None,
+        config: SystemConfig = DEFAULT_CONFIG,
+        rfm_th: int = 0,
+        flip_th: int = 10_000,
+        mlp: int = 4,
+        track_hammer: bool = True,
+    ):
+        if not traces:
+            raise ValueError("need at least one core trace")
+        self.config = config
+        self.cores = [
+            TraceCore(core_id=i, trace=trace, mlp=mlp)
+            for i, trace in enumerate(traces)
+        ]
+        org = config.organization
+        self.num_banks = org.total_banks
+        banks_per_channel = org.ranks_per_channel * org.banks_per_rank
+        timings = config.timings
+        self._channels = [
+            ChannelState(faw=FawTracker(timings.cycles(timings.tfaw)))
+            for _ in range(org.channels)
+        ]
+        self._schedulers = [
+            make_scheduler(config.scheduler) for _ in range(org.channels)
+        ]
+        page_policy = make_page_policy(config.page_policy)
+        self.banks: List[BankController] = []
+        for flat in range(self.num_banks):
+            channel = flat // banks_per_channel
+            scheme = scheme_factory() if scheme_factory else NoProtection()
+            self.banks.append(
+                BankController(
+                    config=config,
+                    scheme=scheme,
+                    rfm_th=rfm_th,
+                    flip_th=flip_th,
+                    channel_state=self._channels[channel],
+                    page_policy=page_policy,
+                    track_hammer=track_hammer,
+                )
+            )
+        self._bank_channel = [
+            flat // banks_per_channel for flat in range(self.num_banks)
+        ]
+        self._bank_scheduled = [False] * self.num_banks
+        self._heap: List[Tuple[int, int, str, int]] = []
+        self._seq = 0
+        self._core_last_completion = [0] * len(self.cores)
+        self._core_served = [0] * len(self.cores)
+        self.row_hits = 0
+        self.row_misses = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+
+    def _push(self, cycle: int, kind: str, ident: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, self._seq, kind, ident))
+
+    def _make_request(self, core_id: int, cycle: int, entry) -> MemoryRequest:
+        org = self.config.organization
+        banks_per_channel = org.ranks_per_channel * org.banks_per_rank
+        flat = entry.bank_index % self.num_banks
+        channel = flat // banks_per_channel
+        within = flat % banks_per_channel
+        rank = within // org.banks_per_rank
+        bank = within % org.banks_per_rank
+        address = RowAddress(BankAddress(channel, rank, bank), entry.row)
+        return MemoryRequest(
+            core=core_id,
+            arrival_cycle=cycle,
+            address=address,
+            column=entry.column,
+            is_write=entry.is_write,
+        )
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _try_issue(self, core: TraceCore, cycle: int) -> None:
+        while not core.done_issuing():
+            if cycle < core.next_issue_cycle:
+                self._push(core.next_issue_cycle, "issue", core.core_id)
+                return
+            entry = core.peek()
+            if not entry.is_write and core.outstanding_reads >= core.mlp:
+                core.stalled_on_mlp = True
+                return
+            entry = core.issue(cycle)
+            request = self._make_request(core.core_id, cycle, entry)
+            flat = entry.bank_index % self.num_banks
+            self.banks[flat].queue.append(request)
+            if not self._bank_scheduled[flat]:
+                self._bank_scheduled[flat] = True
+                start = max(cycle, self.banks[flat].bank.ready_cycle)
+                self._push(start, "bank", flat)
+
+    def _bank_event(self, flat: int, cycle: int) -> None:
+        self._bank_scheduled[flat] = False
+        controller = self.banks[flat]
+        queue = controller.queue
+        if not queue:
+            return
+        scheduler = self._schedulers[self._bank_channel[flat]]
+
+        def release_of(request: MemoryRequest) -> int:
+            return controller.throttle_release(request, cycle)
+
+        index = scheduler.pick(queue, controller.bank.open_row, cycle, release_of)
+        if index is None:
+            index = 0
+        request = queue[index]
+        release = release_of(request)
+        if release > cycle:
+            # Every candidate is throttled; retry at the earliest release.
+            earliest = min(release_of(r) for r in queue)
+            self._bank_scheduled[flat] = True
+            self._push(max(earliest, cycle + 1), "bank", flat)
+            return
+        contended = any(r.core != request.core for r in queue)
+        queue.pop(index)
+        result = controller.serve(request, cycle)
+        scheduler.on_served(request.core, cycle, contended=contended)
+        if result.row_hit:
+            self.row_hits += 1
+        else:
+            self.row_misses += 1
+        core_id = request.core
+        if request.is_read:
+            self._push(result.data_cycle, "complete", core_id)
+        self._core_served[core_id] += 1
+        if result.data_cycle > self._core_last_completion[core_id]:
+            self._core_last_completion[core_id] = result.data_cycle
+        if queue:
+            self._bank_scheduled[flat] = True
+            self._push(
+                max(controller.bank.ready_cycle, cycle + 1), "bank", flat
+            )
+
+    def _complete_event(self, core_id: int, cycle: int) -> None:
+        core = self.cores[core_id]
+        core.on_read_complete(cycle)
+        if core.stalled_on_mlp:
+            core.stalled_on_mlp = False
+            self._try_issue(core, cycle)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+        if self._ran:
+            raise RuntimeError("a SimulatedSystem can only run once")
+        self._ran = True
+        for core in self.cores:
+            self._push(0, "issue", core.core_id)
+        while self._heap:
+            cycle, _seq, kind, ident = heapq.heappop(self._heap)
+            if max_cycles is not None and cycle > max_cycles:
+                break
+            if kind == "issue":
+                self._try_issue(self.cores[ident], cycle)
+            elif kind == "bank":
+                self._bank_event(ident, cycle)
+            else:
+                self._complete_event(ident, cycle)
+        return self._collect()
+
+    def _collect(self) -> SimulationResult:
+        energy = EnergyCounts()
+        flips = 0
+        max_disturbance = 0.0
+        acts = 0
+        rfm_commands = 0
+        rfm_elided = 0
+        rfms_skipped = 0
+        arr_requests = 0
+        preventive_rows = 0
+        arr_stalls = 0
+        rfm_stalls = 0
+        refresh_stalls = 0
+        throttle_events = 0
+        for controller in self.banks:
+            energy = energy.merged(controller.energy)
+            acts += controller.bank.act_count
+            if controller.hammer is not None:
+                flips += controller.hammer.flip_count
+                max_disturbance = max(
+                    max_disturbance, controller.hammer.max_disturbance
+                )
+            stats = controller.scheme.stats
+            rfms_skipped += stats.rfms_skipped
+            arr_requests += stats.arr_requests
+            preventive_rows += stats.preventive_refresh_rows
+            throttle_events += stats.throttle_events
+            arr_stalls += controller.arr_stall_cycles
+            rfm_stalls += controller.rfm_stall_cycles
+            refresh_stalls += controller.refresh_stall_cycles
+            if controller.rfm_logic is not None:
+                rfm_commands += controller.rfm_logic.rfm_issued
+                rfm_elided += controller.rfm_logic.rfm_elided
+        scheme_name = self.banks[0].scheme.name if self.banks else "none"
+        finishes = [
+            self._core_last_completion[core.core_id] for core in self.cores
+        ]
+        return SimulationResult(
+            scheme_name=scheme_name,
+            total_cycles=max(finishes) if finishes else 0,
+            per_core_instructions=[
+                core.total_instructions for core in self.cores
+            ],
+            per_core_finish_cycles=finishes,
+            energy=energy,
+            flips=flips,
+            max_disturbance=max_disturbance,
+            acts=acts,
+            row_hits=self.row_hits,
+            row_misses=self.row_misses,
+            rfm_commands=rfm_commands,
+            rfm_elided=rfm_elided,
+            rfms_skipped=rfms_skipped,
+            arr_requests=arr_requests,
+            preventive_refresh_rows=preventive_rows,
+            arr_stall_cycles=arr_stalls,
+            rfm_stall_cycles=rfm_stalls,
+            refresh_stall_cycles=refresh_stalls,
+            throttle_events=throttle_events,
+        )
+
+
+def simulate(
+    traces: Sequence[CoreTrace],
+    scheme_factory: Optional[Callable[[], ProtectionScheme]] = None,
+    config: SystemConfig = DEFAULT_CONFIG,
+    rfm_th: int = 0,
+    flip_th: int = 10_000,
+    mlp: int = 4,
+    track_hammer: bool = True,
+    max_cycles: Optional[int] = None,
+) -> SimulationResult:
+    """Build and run one system; the one-call entry point for benches."""
+    system = SimulatedSystem(
+        traces,
+        scheme_factory=scheme_factory,
+        config=config,
+        rfm_th=rfm_th,
+        flip_th=flip_th,
+        mlp=mlp,
+        track_hammer=track_hammer,
+    )
+    return system.run(max_cycles=max_cycles)

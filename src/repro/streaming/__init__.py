@@ -1,0 +1,27 @@
+"""Streaming (frequent-items) algorithms used as RowHammer trackers.
+
+The Mithril paper classifies deterministic RH trackers by the streaming
+algorithm they build on (Table I):
+
+* Counter-based Summary (Misra-Gries / Space-Saving) — Graphene, Mithril
+* Lossy Counting — TWiCe
+* Count-Min Sketch / counting Bloom filters — BlockHammer
+
+This package implements all of them from scratch, each documenting the
+estimated-count bounds it guarantees.
+"""
+
+from repro.streaming.base import FrequencyEstimator
+from repro.streaming.cbs import CounterSummary
+from repro.streaming.count_min import CountMinSketch
+from repro.streaming.counting_bloom import CountingBloomFilter, DualCountingBloomFilter
+from repro.streaming.lossy_counting import LossyCounter
+
+__all__ = [
+    "FrequencyEstimator",
+    "CounterSummary",
+    "CountMinSketch",
+    "CountingBloomFilter",
+    "DualCountingBloomFilter",
+    "LossyCounter",
+]

@@ -1,0 +1,60 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan).
+
+Provides only the *lower* bound ``actual <= estimate`` (never
+underestimates), which is why the paper notes it suits throttling-based
+schemes (BlockHammer) but cannot support Mithril's post-refresh
+decrement: there is no per-element upper bound, so an estimate cannot
+be safely reduced.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.streaming.base import FrequencyEstimator
+
+
+def _mix(value: int, seed: int) -> int:
+    """Cheap 64-bit hash mix (splitmix64 finalizer variant)."""
+    x = (value ^ (seed * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class CountMinSketch(FrequencyEstimator):
+    """``depth`` rows of ``width`` counters; estimate = min over rows."""
+
+    def __init__(self, width: int, depth: int = 4, seed: int = 0x5EED):
+        if width <= 0 or depth <= 0:
+            raise ValueError(f"width and depth must be positive, got {width}x{depth}")
+        self.width = width
+        self.depth = depth
+        self._seed = seed
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+    def _index(self, element: Hashable, row: int) -> int:
+        return _mix(hash(element) & 0xFFFFFFFFFFFFFFFF, self._seed + row) % self.width
+
+    def observe(self, element: Hashable, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._total += count
+        for row in range(self.depth):
+            self._rows[row][self._index(element, row)] += count
+
+    def estimate(self, element: Hashable) -> int:
+        return min(
+            self._rows[row][self._index(element, row)] for row in range(self.depth)
+        )
+
+    @property
+    def total_observed(self) -> int:
+        return self._total
+
+    def reset(self) -> None:
+        for row in self._rows:
+            for i in range(self.width):
+                row[i] = 0
+        self._total = 0

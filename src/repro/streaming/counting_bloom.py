@@ -1,0 +1,115 @@
+"""Counting Bloom filters, including BlockHammer's dual interleaved pair.
+
+BlockHammer tracks per-row activation counts with two counting Bloom
+filters (CBFs) whose lifetimes are staggered by half an epoch: at any
+moment one filter is "active" (its content covers at least the last
+half epoch) while the other warms up.  Estimates are taken from the
+older filter, so a row's estimate covers the window relevant to the
+blacklist decision, and a full reset never forgets recent history.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.streaming.base import FrequencyEstimator
+from repro.streaming.count_min import _mix
+
+
+class CountingBloomFilter(FrequencyEstimator):
+    """A single counting Bloom filter: k hashed counters per element.
+
+    The estimate is the minimum of the element's counters, identical in
+    spirit to a Count-Min sketch with ``k`` probes into one shared row.
+    Provides the lower bound ``actual <= estimate`` only.
+    """
+
+    def __init__(self, size: int, num_hashes: int = 4, seed: int = 0xB10F):
+        if size <= 0 or num_hashes <= 0:
+            raise ValueError(
+                f"size and num_hashes must be positive, got {size}/{num_hashes}"
+            )
+        self.size = size
+        self.num_hashes = num_hashes
+        self._seed = seed
+        self._counters: List[int] = [0] * size
+        self._total = 0
+
+    def _indices(self, element: Hashable) -> List[int]:
+        base = hash(element) & 0xFFFFFFFFFFFFFFFF
+        return [
+            _mix(base, self._seed + probe) % self.size
+            for probe in range(self.num_hashes)
+        ]
+
+    def observe(self, element: Hashable, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._total += count
+        for index in self._indices(element):
+            self._counters[index] += count
+
+    def estimate(self, element: Hashable) -> int:
+        return min(self._counters[index] for index in self._indices(element))
+
+    @property
+    def total_observed(self) -> int:
+        return self._total
+
+    def reset(self) -> None:
+        self._counters = [0] * self.size
+        self._total = 0
+
+
+class DualCountingBloomFilter(FrequencyEstimator):
+    """BlockHammer's pair of interleaved CBFs.
+
+    ``epoch_length`` observations make up one filter lifetime (tCBF in
+    ACT terms).  Both filters are updated; every half epoch the older
+    one is cleared and the roles swap.  Estimates come from the filter
+    that has been accumulating longer, guaranteeing coverage of at
+    least the last half epoch.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        epoch_length: int,
+        num_hashes: int = 4,
+        seed: int = 0xB10F,
+    ):
+        if epoch_length <= 1:
+            raise ValueError(f"epoch_length must be > 1, got {epoch_length}")
+        self.epoch_length = epoch_length
+        self.half_epoch = max(1, epoch_length // 2)
+        self._filters = [
+            CountingBloomFilter(size, num_hashes, seed),
+            CountingBloomFilter(size, num_hashes, seed + 1),
+        ]
+        self._active = 0  #: index of the older (authoritative) filter
+        self._since_swap = 0
+
+    def observe(self, element: Hashable, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        for _ in range(count):
+            self._filters[0].observe(element)
+            self._filters[1].observe(element)
+            self._since_swap += 1
+            if self._since_swap >= self.half_epoch:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        self._since_swap = 0
+        young = 1 - self._active
+        self._filters[self._active].reset()
+        self._active = young
+
+    def estimate(self, element: Hashable) -> int:
+        return self._filters[self._active].estimate(element)
+
+    def reset(self) -> None:
+        for cbf in self._filters:
+            cbf.reset()
+        self._active = 0
+        self._since_swap = 0

@@ -1,0 +1,102 @@
+"""Lossy Counting (Manku & Motwani), the tracker behind TWiCe.
+
+The stream is processed in windows of ``1 / epsilon`` items.  Each
+tracked element carries a count and the maximum possible undercount
+``delta`` frozen at insertion time.  At every window boundary, entries
+whose ``count + delta`` falls at or below the window index are pruned.
+
+Bounds (with ``n`` items seen so far):
+
+    actual - epsilon * n  <=  estimate  <=  actual        (raw count)
+    actual  <=  estimate + delta  <=  actual + epsilon * n
+
+TWiCe uses the *overestimate* form ``count + delta`` so that acting on
+the estimate is conservative; :meth:`estimate` returns that form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.streaming.base import FrequencyEstimator
+
+
+@dataclass
+class _Entry:
+    count: int
+    delta: int
+
+
+class LossyCounter(FrequencyEstimator):
+    """Lossy Counting summary with conservative (over-)estimates."""
+
+    def __init__(self, epsilon: float):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.window_size = int(math.ceil(1.0 / epsilon))
+        self._entries: Dict[Hashable, _Entry] = {}
+        self._items_seen = 0
+        self._window_index = 0  #: floor(n / window_size), the max delta
+
+    def observe(self, element: Hashable, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        for _ in range(count):
+            self._observe_one(element)
+
+    def _observe_one(self, element: Hashable) -> None:
+        self._items_seen += 1
+        entry = self._entries.get(element)
+        if entry is not None:
+            entry.count += 1
+        else:
+            self._entries[element] = _Entry(count=1, delta=self._window_index)
+        if self._items_seen % self.window_size == 0:
+            self._window_index += 1
+            self._prune()
+
+    def _prune(self) -> None:
+        doomed = [
+            element
+            for element, entry in self._entries.items()
+            if entry.count + entry.delta <= self._window_index
+        ]
+        for element in doomed:
+            del self._entries[element]
+
+    def estimate(self, element: Hashable) -> int:
+        """Conservative overestimate: count + delta, or the max prune level."""
+        entry = self._entries.get(element)
+        if entry is None:
+            return self._window_index
+        return entry.count + entry.delta
+
+    def raw_count(self, element: Hashable) -> int:
+        """The tracked count alone (a lower bound on the actual count)."""
+        entry = self._entries.get(element)
+        return 0 if entry is None else entry.count
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def items_seen(self) -> int:
+        return self._items_seen
+
+    def items(self) -> Iterable[Tuple[Hashable, int]]:
+        for element, entry in self._entries.items():
+            yield element, entry.count + entry.delta
+
+    def entries_at_least(self, threshold: int) -> List[Tuple[Hashable, int]]:
+        return [(a, c) for a, c in self.items() if c >= threshold]
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._items_seen = 0
+        self._window_index = 0

@@ -1,0 +1,29 @@
+"""Empirical verification of the RowHammer protection guarantees."""
+
+from repro.verify.adversary import (
+    double_sided_stream,
+    feinting_stream,
+    half_double_stream,
+    many_sided_stream,
+    random_stream,
+    round_robin_stream,
+)
+from repro.verify.fuzzer import FuzzPattern, FuzzResult, fuzz_scheme
+from repro.verify.safety import SafetyReport, run_safety_trace
+from repro.verify.theorem import GrowthReport, measure_estimate_growth
+
+__all__ = [
+    "SafetyReport",
+    "run_safety_trace",
+    "round_robin_stream",
+    "double_sided_stream",
+    "many_sided_stream",
+    "random_stream",
+    "feinting_stream",
+    "half_double_stream",
+    "fuzz_scheme",
+    "FuzzPattern",
+    "FuzzResult",
+    "GrowthReport",
+    "measure_estimate_growth",
+]

@@ -1,0 +1,109 @@
+"""Per-core memory trace format.
+
+A trace entry is one post-LLC memory request plus the amount of core
+work (instructions / cycles) separating it from the previous request.
+Traces are the substitute for the paper's SPEC CPU2017 SimPoint traces
+(see DESIGN.md): the mitigation overheads depend only on the resulting
+ACT stream statistics, which the generators control explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One memory request of a core trace.
+
+    ``gap_cycles`` — memory-clock cycles of core work since the
+    previous request was *issued* (the throughput model of the core).
+    ``instructions`` — instructions retired in that gap, used for IPC.
+    """
+
+    gap_cycles: int
+    bank_index: int
+    row: int
+    column: int = 0
+    is_write: bool = False
+    instructions: int = 0
+
+
+@dataclass
+class CoreTrace:
+    """A whole core's request stream plus identification metadata."""
+
+    name: str
+    entries: List[TraceEntry] = field(default_factory=list)
+    memory_intensive: bool = True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(entry.instructions for entry in self.entries)
+
+    def banks_touched(self) -> Sequence[int]:
+        return sorted({entry.bank_index for entry in self.entries})
+
+    # ------------------------------------------------------------------
+    # (de)serialization — line-delimited JSON for easy inspection
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        path = Path(path)
+        with path.open("w") as handle:
+            header = {
+                "name": self.name,
+                "memory_intensive": self.memory_intensive,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for entry in self.entries:
+                record = [
+                    entry.gap_cycles,
+                    entry.bank_index,
+                    entry.row,
+                    entry.column,
+                    int(entry.is_write),
+                    entry.instructions,
+                ]
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "CoreTrace":
+        path = Path(path)
+        with path.open() as handle:
+            header = json.loads(handle.readline())
+            entries = []
+            for line in handle:
+                gap, bank, row, column, write, instructions = json.loads(line)
+                entries.append(
+                    TraceEntry(
+                        gap_cycles=gap,
+                        bank_index=bank,
+                        row=row,
+                        column=column,
+                        is_write=bool(write),
+                        instructions=instructions,
+                    )
+                )
+        return cls(
+            name=header["name"],
+            entries=entries,
+            memory_intensive=header.get("memory_intensive", True),
+        )
+
+
+def merge_as_workload(traces: Iterable[CoreTrace]) -> List[CoreTrace]:
+    """Validate a multi-core workload (one trace per core)."""
+    result = list(traces)
+    if not result:
+        raise ValueError("a workload needs at least one core trace")
+    return result

@@ -1,0 +1,21 @@
+"""Shared fixtures: small system configurations that keep tests fast."""
+
+import pytest
+
+from repro.params import DramOrganization, DramTimings, SystemConfig
+
+
+@pytest.fixture
+def timings() -> DramTimings:
+    return DramTimings()
+
+
+@pytest.fixture
+def organization() -> DramOrganization:
+    return DramOrganization()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """One channel, eight banks — enough for scheduling behaviour."""
+    return SystemConfig().with_organization(channels=1, banks_per_rank=8)

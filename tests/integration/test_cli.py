@@ -1,0 +1,58 @@
+"""Integration: the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table4" in out
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "mithril" in out and "blockhammer" in out
+
+    def test_configure(self, capsys):
+        assert main(["configure", "6250"]) == 0
+        out = capsys.readouterr().out
+        assert "RFM_TH" in out
+        assert "128" in out
+
+    def test_configure_infeasible(self, capsys):
+        assert main(["configure", "10"]) == 1
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Mithril-32 @ DRAM" in out
+
+    def test_experiment_json(self, capsys):
+        assert main(["experiment", "fig2", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["arr_graphene_safe_flip_th"] > 0
+
+    def test_safety_mithril_safe(self, capsys):
+        code = main([
+            "safety", "mithril", "--attack", "double-sided",
+            "--acts", "20000", "--flip-th", "3125",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flips:             0" in out
+
+    def test_safety_none_flips(self, capsys):
+        code = main([
+            "safety", "none", "--attack", "double-sided",
+            "--acts", "20000", "--flip-th", "3125",
+        ])
+        assert code == 1
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,132 @@
+"""Integration: chip-level co-drive of the Figure-4 / JESD79-5 stack.
+
+Drives :class:`DramChip` with :class:`Ddr5RfmPolicy` per bank — the
+full command-level cooperation: RAA counting with RAAMMT and REF
+credit on the MC side, Mithril + mode-register flag on the DRAM side.
+"""
+
+import pytest
+
+from repro.core.config import paper_default_config
+from repro.core.mithril import MithrilScheme
+from repro.dram.device import MR_RFM_FLAG, DramChip, DramCommand
+from repro.mc.refresh_management import Ddr5RaaState, Ddr5RfmPolicy
+from repro.types import CommandKind
+
+FLIP_TH = 6_250
+
+
+def _stack(
+    plus: bool = True,
+    raammt_multiplier: int = 3,
+    counter_bits: int = None,
+):
+    config = paper_default_config(FLIP_TH, adaptive_th=200)
+    chip = DramChip(
+        scheme_factory=lambda: MithrilScheme(
+            n_entries=config.n_entries,
+            rfm_th=config.rfm_th,
+            adaptive_th=config.adaptive_th,
+            plus=plus,
+            counter_bits=counter_bits,
+        ),
+        flip_th=FLIP_TH,
+    )
+    policies = [
+        Ddr5RfmPolicy(
+            Ddr5RaaState(
+                raaimt=config.rfm_th, raammt_multiplier=raammt_multiplier
+            )
+        )
+        for _ in range(chip.num_banks)
+    ]
+    return config, chip, policies
+
+
+def _drive(chip, policies, bank, row, cycle, plus=True):
+    """One MC-side ACT with the full RFM decision path."""
+    chip.execute(DramCommand(CommandKind.ACT, bank=bank, row=row,
+                             cycle=cycle))
+    if policies[bank].on_activate():
+        if not plus or chip.mode_register_read(MR_RFM_FLAG):
+            chip.execute(DramCommand(CommandKind.RFM, bank=bank,
+                                     cycle=cycle))
+            return "rfm"
+        return "elided"
+    return "act"
+
+
+class TestDeviceLevelCoDrive:
+    def test_hammered_bank_protected(self):
+        _config, chip, policies = _stack()
+        for i in range(60_000):
+            row = 999 if i % 2 == 0 else 1001
+            _drive(chip, policies, bank=0, row=row, cycle=i)
+        assert chip.flip_count == 0
+        assert chip.max_disturbance < FLIP_TH
+
+    def test_benign_bank_elides_rfms(self):
+        _config, chip, policies = _stack()
+        outcomes = {"act": 0, "rfm": 0, "elided": 0}
+        for i in range(20_000):
+            outcome = _drive(
+                chip, policies, bank=1, row=(i // 8) % 4_096, cycle=i
+            )
+            outcomes[outcome] += 1
+        assert outcomes["elided"] > 0
+        assert outcomes["elided"] > outcomes["rfm"]
+
+    def test_attacked_bank_spends_its_rfms(self):
+        _config, chip, policies = _stack()
+        outcomes = {"act": 0, "rfm": 0, "elided": 0}
+        for i in range(20_000):
+            row = 999 if i % 2 == 0 else 1001
+            outcomes[_drive(chip, policies, 0, row, i)] += 1
+        assert outcomes["rfm"] > 0
+        assert chip.preventive_refreshes > 0
+
+    def test_raa_never_exceeds_raammt(self):
+        _config, chip, policies = _stack(raammt_multiplier=2)
+        for i in range(10_000):
+            _drive(chip, policies, bank=0, row=i % 7, cycle=i)
+            assert policies[0].raa.value <= policies[0].raa.raammt
+
+    def test_plain_mithril_issues_every_rfm(self):
+        config, chip, policies = _stack(plus=False)
+        rfms = 0
+        for i in range(20_000):
+            row = 999 if i % 2 == 0 else 1001
+            if _drive(chip, policies, 0, row, i, plus=False) == "rfm":
+                rfms += 1
+        assert rfms == 20_000 // config.rfm_th
+
+    def test_ref_credit_stretches_rfm_cadence(self):
+        """Interleaving REF commands pays RAA down: fewer RFMs.
+
+        The stretched cadence also grows the tracker spread past the
+        default wrapping-counter window (see the warning in
+        ``repro.mc.refresh_management``), so the counter field must be
+        sized for the credit-stretched interval.
+        """
+        config, chip, policies = _stack(plus=False, counter_bits=32)
+        rfms_with_credit = 0
+        for i in range(10_000):
+            row = 999 if i % 2 == 0 else 1001
+            if _drive(chip, policies, 0, row, i, plus=False) == "rfm":
+                rfms_with_credit += 1
+            if i % 32 == 31:
+                policies[0].on_refresh()
+                chip.execute(
+                    DramCommand(CommandKind.REF, bank=0, cycle=i)
+                )
+        assert rfms_with_credit < 10_000 // config.rfm_th
+
+    def test_default_counter_overflows_under_ref_credit(self):
+        """The documented hazard: default sizing + REF credit raises."""
+        _config, chip, policies = _stack(plus=False)
+        with pytest.raises(OverflowError):
+            for i in range(10_000):
+                row = 999 if i % 2 == 0 else 1001
+                _drive(chip, policies, 0, row, i, plus=False)
+                if i % 32 == 31:
+                    policies[0].on_refresh()

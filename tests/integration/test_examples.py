@@ -1,0 +1,34 @@
+"""Integration: every example script runs to completion.
+
+The examples are the public face of the library; a refactor that breaks
+them must fail CI.  Each runs in a subprocess with a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print their findings"
+
+
+def test_examples_exist():
+    names = {script.stem for script in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,75 @@
+"""Integration: randomized adversary search against Mithril.
+
+The fuzzer samples structured random attack patterns; Mithril's
+Theorem-1 guarantee must hold for all of them: zero flips and maximum
+victim disturbance below FlipTH (in fact below 2M + slack).
+"""
+
+import pytest
+
+from repro.core.bounds import estimated_growth_bound
+from repro.core.config import min_entries_for
+from repro.core.mithril import MithrilScheme
+from repro.protection import NoProtection
+from repro.verify.fuzzer import fuzz_scheme, worst_case
+
+FLIP_TH = 3_125
+RFM_TH = 64
+
+
+@pytest.fixture(scope="module")
+def mithril_results():
+    n = min_entries_for(FLIP_TH, RFM_TH)
+    return fuzz_scheme(
+        lambda: MithrilScheme(n_entries=n, rfm_th=RFM_TH),
+        flip_th=FLIP_TH,
+        rfm_th=RFM_TH,
+        iterations=15,
+        acts_per_pattern=50_000,
+        seed=2024,
+    )
+
+
+class TestMithrilFuzzing:
+    def test_no_pattern_flips(self, mithril_results):
+        for result in mithril_results:
+            assert result.report.safe, result.pattern.name
+
+    def test_worst_disturbance_below_flip_th(self, mithril_results):
+        worst = worst_case(mithril_results)
+        assert worst.report.max_disturbance < FLIP_TH
+
+    def test_worst_disturbance_respects_theorem1(self, mithril_results):
+        """Every victim's disturbance is at most twice the per-side
+        growth bound M (two aggressors), with slack for the replay's
+        shorter-than-tREFW horizon."""
+        n = min_entries_for(FLIP_TH, RFM_TH)
+        bound = 2 * estimated_growth_bound(n, RFM_TH)
+        worst = worst_case(mithril_results)
+        assert worst.report.max_disturbance <= bound
+
+    def test_unprotected_fuzzing_does_flip(self):
+        results = fuzz_scheme(
+            NoProtection,
+            flip_th=FLIP_TH,
+            rfm_th=0,
+            iterations=15,
+            acts_per_pattern=50_000,
+            seed=2024,
+        )
+        assert any(not r.report.safe for r in results)
+
+    def test_adaptive_mithril_also_survives(self):
+        n = min_entries_for(FLIP_TH, RFM_TH, adaptive_th=200)
+        results = fuzz_scheme(
+            lambda: MithrilScheme(
+                n_entries=n, rfm_th=RFM_TH, adaptive_th=200
+            ),
+            flip_th=FLIP_TH,
+            rfm_th=RFM_TH,
+            iterations=10,
+            acts_per_pattern=50_000,
+            seed=77,
+        )
+        for result in results:
+            assert result.report.safe, result.pattern.name

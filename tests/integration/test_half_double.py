@@ -1,0 +1,74 @@
+"""Integration: Half-Double-style non-adjacent RowHammer (Section V-C)."""
+
+import pytest
+
+from repro.core.config import min_entries_for
+from repro.core.mithril import MithrilScheme
+from repro.protection import NoProtection
+from repro.verify.adversary import half_double_stream
+from repro.verify.safety import run_safety_trace
+
+FLIP_TH = 3_125
+RFM_TH = 64
+BLAST_WEIGHTS = (1.0, 0.25)
+ACTS = 200_000
+
+
+class TestHalfDouble:
+    def test_unprotected_half_double_flips(self):
+        report = run_safety_trace(
+            NoProtection(),
+            half_double_stream(1_000, ACTS * 3),
+            FLIP_TH,
+            blast_weights=BLAST_WEIGHTS,
+        )
+        assert not report.safe
+
+    def test_adjacent_only_mithril_leaks_distance2(self):
+        """Blast radius 1 refreshes only the direct neighbours; the
+        distance-2 victims keep accumulating quarter-strength hits."""
+        n = min_entries_for(FLIP_TH, RFM_TH)
+        scheme = MithrilScheme(n_entries=n, rfm_th=RFM_TH, blast_radius=1)
+        report = run_safety_trace(
+            scheme,
+            half_double_stream(1_000, ACTS),
+            FLIP_TH,
+            rfm_th=RFM_TH,
+            blast_weights=BLAST_WEIGHTS,
+        )
+        wide = min_entries_for(
+            FLIP_TH, RFM_TH, blast_multiplier=3.5
+        )
+        wide_scheme = MithrilScheme(
+            n_entries=wide, rfm_th=RFM_TH, blast_radius=2
+        )
+        wide_report = run_safety_trace(
+            wide_scheme,
+            half_double_stream(1_000, ACTS),
+            FLIP_TH,
+            rfm_th=RFM_TH,
+            blast_weights=BLAST_WEIGHTS,
+        )
+        assert wide_report.safe
+        assert (
+            wide_report.max_disturbance <= report.max_disturbance
+        )
+
+    def test_range_aware_config_protects(self):
+        n = min_entries_for(FLIP_TH, RFM_TH, blast_multiplier=3.5)
+        scheme = MithrilScheme(n_entries=n, rfm_th=RFM_TH, blast_radius=2)
+        report = run_safety_trace(
+            scheme,
+            half_double_stream(1_000, ACTS),
+            FLIP_TH,
+            rfm_th=RFM_TH,
+            blast_weights=BLAST_WEIGHTS,
+        )
+        assert report.safe
+        assert report.max_disturbance < FLIP_TH / 2
+
+    def test_victims_refreshed_two_deep(self):
+        scheme = MithrilScheme(n_entries=16, rfm_th=4, blast_radius=2)
+        scheme.on_activate(100, 0)
+        victims = scheme.on_rfm(0)
+        assert sorted(victims) == [98, 99, 101, 102]

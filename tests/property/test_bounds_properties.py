@@ -1,0 +1,60 @@
+"""Property tests for the analytical bounds (Theorems 1 and 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    adaptive_bound,
+    estimated_growth_bound,
+    rfm_intervals_per_window,
+)
+from repro.core.config import min_entries_for
+
+rfm_ths = st.sampled_from([8, 16, 32, 64, 128, 256])
+entries = st.integers(min_value=2, max_value=4096)
+adths = st.integers(min_value=0, max_value=500)
+
+
+@given(entries, rfm_ths)
+@settings(max_examples=200)
+def test_bound_positive(n, rfm_th):
+    assert estimated_growth_bound(n, rfm_th) > 0
+
+
+@given(st.integers(min_value=2, max_value=2048), rfm_ths)
+@settings(max_examples=200)
+def test_bound_decreasing_in_entries_below_w(n, rfm_th):
+    """M(n) >= M(n+1) while n is below W (the useful regime)."""
+    w = rfm_intervals_per_window(rfm_th)
+    if n + 1 >= w - 2:
+        return
+    assert estimated_growth_bound(n, rfm_th) >= estimated_growth_bound(
+        n + 1, rfm_th
+    )
+
+
+@given(entries, rfm_ths, adths)
+@settings(max_examples=200)
+def test_adaptive_bound_dominates_theorem1(n, rfm_th, adth):
+    assert adaptive_bound(n, rfm_th, adth) >= estimated_growth_bound(n, rfm_th)
+
+
+@given(entries, rfm_ths, st.integers(min_value=0, max_value=400))
+@settings(max_examples=100)
+def test_adaptive_bound_monotone_in_adth(n, rfm_th, adth):
+    assert adaptive_bound(n, rfm_th, adth + 50) >= adaptive_bound(
+        n, rfm_th, adth
+    ) - 1e-9
+
+
+@given(st.sampled_from([1_500, 3_125, 6_250, 12_500, 25_000, 50_000]),
+       rfm_ths)
+@settings(max_examples=60, deadline=None)
+def test_min_entries_result_is_safe_and_minimal(flip_th, rfm_th):
+    n = min_entries_for(flip_th, rfm_th)
+    if n is None:
+        return
+    target = flip_th / 2
+    assert estimated_growth_bound(n, rfm_th) < target
+    if n > 1:
+        assert estimated_growth_bound(n - 1, rfm_th) >= target

@@ -1,0 +1,94 @@
+"""Property tests: the CbS bounds the Mithril proof depends on.
+
+Inequalities (1) and (2) of the paper, for every prefix of every stream:
+
+    actual <= estimate                      (1)
+    estimate <= actual + table_minimum      (2)
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.cbs import CounterSummary
+
+streams = st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                   max_size=400)
+capacities = st.integers(min_value=1, max_value=16)
+
+
+@given(streams, capacities)
+@settings(max_examples=200)
+def test_inequality_1_lower_bound(stream, capacity):
+    """The estimate never undercounts: actual <= estimate."""
+    summary = CounterSummary(capacity)
+    truth = Counter()
+    for element in stream:
+        summary.observe(element)
+        truth[element] += 1
+        for row, actual in truth.items():
+            assert summary.estimate(row) >= actual
+
+
+@given(streams, capacities)
+@settings(max_examples=200)
+def test_inequality_2_upper_bound(stream, capacity):
+    """The overcount is bounded by the table minimum:
+    estimate <= actual + min."""
+    summary = CounterSummary(capacity)
+    truth = Counter()
+    for element in stream:
+        summary.observe(element)
+        truth[element] += 1
+        minimum = summary.min_count
+        for row, actual in truth.items():
+            assert summary.estimate(row) <= actual + minimum
+
+
+@given(streams, capacities)
+@settings(max_examples=200)
+def test_total_mass_conserved(stream, capacity):
+    """Space-Saving conserves the stream length in its counters once
+    the table is full; before that, counts sum to items observed."""
+    summary = CounterSummary(capacity)
+    for element in stream:
+        summary.observe(element)
+    table_sum = sum(count for _, count in summary.items())
+    assert table_sum == summary.total_observed or len(summary) == capacity
+    if len(summary) == capacity:
+        assert table_sum >= summary.total_observed
+
+
+@given(streams, capacities)
+@settings(max_examples=100)
+def test_min_max_consistency(stream, capacity):
+    summary = CounterSummary(capacity)
+    for element in stream:
+        summary.observe(element)
+        top = summary.max_entry()
+        assert top is not None
+        counts = [count for _, count in summary.items()]
+        assert top[1] == max(counts)
+        if len(summary) == capacity:
+            assert summary.min_count == min(counts)
+        else:
+            assert summary.min_count == 0
+
+
+@given(streams, st.integers(min_value=2, max_value=8))
+@settings(max_examples=100)
+def test_demote_preserves_lower_bound_after_refresh(stream, capacity):
+    """After demote-to-min (preventive refresh), the demoted row's
+    estimate still upper-bounds its *new* actual count (zero)."""
+    summary = CounterSummary(capacity)
+    truth = Counter()
+    for i, element in enumerate(stream):
+        summary.observe(element)
+        truth[element] += 1
+        if i % 7 == 6:
+            row, _ = summary.max_entry()
+            summary.demote_to_min(row)
+            truth[row] = 0  # the refresh zeroes the actual hazard
+        for row, actual in truth.items():
+            assert summary.estimate(row) >= actual

@@ -1,0 +1,68 @@
+"""Property tests for the RowHammer fault model and address mapper."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.dram.hammer import HammerModel
+from repro.params import DramOrganization
+
+
+@given(st.lists(st.integers(min_value=1, max_value=62), min_size=1,
+                max_size=300))
+@settings(max_examples=150)
+def test_disturbance_equals_adjacent_act_count(acts):
+    """Each victim's disturbance equals ACTs on its two neighbours."""
+    model = HammerModel(flip_th=10_000, rows_per_bank=64)
+    for row in acts:
+        model.on_activate(row)
+    for victim in range(64):
+        expected = sum(1 for a in acts if abs(a - victim) == 1)
+        assert model.disturbance(victim) == expected
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=1, max_value=30)),
+                min_size=1, max_size=200))
+@settings(max_examples=150)
+def test_refresh_is_idempotent_reset(operations):
+    """A refresh always zeroes a row; no operation can lower another
+    row's disturbance."""
+    model = HammerModel(flip_th=10_000, rows_per_bank=32)
+    levels = {}
+    for is_refresh, row in operations:
+        if is_refresh:
+            model.on_refresh_row(row)
+            levels[row] = 0.0
+        else:
+            model.on_activate(row)
+            for victim in (row - 1, row + 1):
+                if 0 <= victim < 32:
+                    levels[victim] = levels.get(victim, 0.0) + 1.0
+    for victim, expected in levels.items():
+        assert model.disturbance(victim) == expected
+
+
+@given(st.integers(min_value=0, max_value=(1 << 34) - 1))
+@settings(max_examples=300)
+def test_address_roundtrip(address):
+    mapper = AddressMapper(DramOrganization())
+    aligned = (address % mapper.capacity_bytes) & ~63
+    decoded = mapper.decode(aligned)
+    assert mapper.encode(decoded.row, decoded.column) == aligned
+
+
+@given(st.integers(min_value=0, max_value=65535),
+       st.integers(min_value=0, max_value=127),
+       st.integers(min_value=0, max_value=1),
+       st.integers(min_value=0, max_value=31))
+@settings(max_examples=200)
+def test_encode_decode_inverse(row, column, channel, bank):
+    from repro.types import BankAddress, RowAddress
+
+    mapper = AddressMapper(DramOrganization())
+    address = RowAddress(BankAddress(channel, 0, bank), row)
+    encoded = mapper.encode(address, column)
+    decoded = mapper.decode(encoded)
+    assert decoded.row == address
+    assert decoded.column == column

@@ -1,0 +1,65 @@
+"""Property tests for Lossy Counting's error bounds."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.lossy_counting import LossyCounter
+
+streams = st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                   max_size=300)
+epsilons = st.sampled_from([0.5, 0.25, 0.1, 0.05])
+
+
+@given(streams, epsilons)
+@settings(max_examples=150)
+def test_raw_count_never_overestimates(stream, epsilon):
+    counter = LossyCounter(epsilon)
+    truth = Counter()
+    for element in stream:
+        counter.observe(element)
+        truth[element] += 1
+    for element, actual in truth.items():
+        assert counter.raw_count(element) <= actual
+
+
+@given(streams, epsilons)
+@settings(max_examples=150)
+def test_undercount_bounded_by_epsilon_n(stream, epsilon):
+    counter = LossyCounter(epsilon)
+    truth = Counter()
+    for element in stream:
+        counter.observe(element)
+        truth[element] += 1
+    n = counter.items_seen
+    for element, actual in truth.items():
+        assert counter.raw_count(element) >= actual - epsilon * n - 1
+
+
+@given(streams, epsilons)
+@settings(max_examples=150)
+def test_estimate_is_conservative_overestimate(stream, epsilon):
+    """estimate = count + delta >= actual for tracked elements."""
+    counter = LossyCounter(epsilon)
+    truth = Counter()
+    for element in stream:
+        counter.observe(element)
+        truth[element] += 1
+        if element in counter:
+            assert counter.estimate(element) >= truth[element] - epsilon * counter.items_seen - 1
+
+
+@given(streams, epsilons)
+@settings(max_examples=100)
+def test_frequent_items_always_tracked(stream, epsilon):
+    """No element with actual > epsilon * n is ever pruned."""
+    counter = LossyCounter(epsilon)
+    truth = Counter()
+    for element in stream:
+        counter.observe(element)
+        truth[element] += 1
+    n = counter.items_seen
+    for element, actual in truth.items():
+        if actual > epsilon * n:
+            assert element in counter

@@ -1,0 +1,105 @@
+"""Property tests for Mithril's core invariants.
+
+These validate the machinery behind Theorem 1 empirically:
+
+* the greedy + demote policy keeps the counter spread bounded (the
+  wrapping-counter implementability invariant of Section IV-E);
+* the estimated count remains an upper bound on the actual ACT count
+  between preventive refreshes;
+* applying RFM every RFM_TH ACTs keeps every row's estimated-count
+  *growth* within the bound M.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import estimated_growth_bound
+from repro.core.mithril import MithrilScheme
+
+row_streams = st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                       max_size=600)
+
+
+def _drive(scheme, stream, rfm_th):
+    """Feed a stream with an RFM every rfm_th ACTs, like the MC would."""
+    for i, row in enumerate(stream):
+        scheme.on_activate(row, cycle=i)
+        if (i + 1) % rfm_th == 0:
+            scheme.on_rfm(cycle=i)
+
+
+@given(row_streams, st.integers(min_value=2, max_value=16),
+       st.integers(min_value=2, max_value=32))
+@settings(max_examples=150, deadline=None)
+def test_spread_stays_bounded(stream, n_entries, rfm_th):
+    """max - min never exceeds AdTH + 2 * RFM_TH (with AdTH = 0 here)."""
+    scheme = MithrilScheme(n_entries=n_entries, rfm_th=rfm_th,
+                           counter_bits=62)
+    _drive(scheme, stream, rfm_th)
+    assert scheme.table.max_spread_seen <= 2 * rfm_th
+
+
+@given(row_streams, st.integers(min_value=2, max_value=16),
+       st.integers(min_value=2, max_value=32),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=100, deadline=None)
+def test_spread_bounded_with_adaptive(stream, n_entries, rfm_th, adth):
+    scheme = MithrilScheme(n_entries=n_entries, rfm_th=rfm_th,
+                           adaptive_th=adth, counter_bits=62)
+    _drive(scheme, stream, rfm_th)
+    assert scheme.table.max_spread_seen <= adth + 2 * rfm_th
+
+
+@given(row_streams, st.integers(min_value=2, max_value=16),
+       st.integers(min_value=2, max_value=32))
+@settings(max_examples=150, deadline=None)
+def test_estimate_upper_bounds_acts_since_refresh(stream, n_entries, rfm_th):
+    """Safety invariant: estimate >= actual ACTs since the row's last
+    preventive refresh, so greedy selection can never miss a hazard."""
+    scheme = MithrilScheme(n_entries=n_entries, rfm_th=rfm_th,
+                           counter_bits=62)
+    actual = Counter()
+    for i, row in enumerate(stream):
+        scheme.on_activate(row, cycle=i)
+        actual[row] += 1
+        if (i + 1) % rfm_th == 0:
+            selected = scheme.table.greedy_select()
+            victims = scheme.on_rfm(cycle=i)
+            if victims and selected is not None:
+                actual[selected[0]] = 0
+        for row_id, count in actual.items():
+            assert scheme.table.estimate(row_id) >= count
+
+
+@given(st.integers(min_value=4, max_value=24),
+       st.integers(min_value=4, max_value=24),
+       st.integers(min_value=0, max_value=50))
+@settings(max_examples=50, deadline=None)
+def test_growth_bounded_by_M_round_robin(n_entries, rfm_th, extra_rows):
+    """Round-robin over n_entries + extra rows: every row's estimate
+    growth over the run stays below the Theorem-1 bound M (checked with
+    the run-length standing in for the tREFW window)."""
+    scheme = MithrilScheme(n_entries=n_entries, rfm_th=rfm_th,
+                           counter_bits=62)
+    num_rows = n_entries + extra_rows
+    total_acts = rfm_th * 200
+    start = {row: None for row in range(num_rows)}
+    worst_growth = 0
+    for i in range(total_acts):
+        row = i % num_rows
+        if start[row] is None:
+            start[row] = scheme.table.estimate(row)
+        scheme.on_activate(row, cycle=i)
+        growth = scheme.table.estimate(row) - start[row]
+        worst_growth = max(worst_growth, growth)
+        if (i + 1) % rfm_th == 0:
+            scheme.on_rfm(cycle=i)
+    w_run = total_acts // rfm_th
+    from repro.core.bounds import harmonic
+
+    m_run = rfm_th * harmonic(min(n_entries, w_run))
+    m_run += rfm_th * max(w_run - n_entries, 0) / n_entries
+    m_run += rfm_th * max(n_entries - 2, 0) / n_entries
+    assert worst_growth <= m_run + rfm_th

@@ -1,0 +1,108 @@
+"""Property tests: every registered scheme honours the interface contract.
+
+For arbitrary ACT streams and cycles, each scheme must:
+
+* return victim lists containing only valid, in-range rows;
+* never return the aggressor itself as a victim;
+* keep its stats counters consistent with the driven events;
+* return a throttle release not in the past;
+* answer the Mithril+ flag with a boolean.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mithril import MithrilScheme
+from repro.mitigations.blockhammer import BlockHammerScheme
+from repro.mitigations.cbt import CbtScheme
+from repro.mitigations.graphene import GrapheneScheme
+from repro.mitigations.para import ParaScheme
+from repro.mitigations.parfm import ParfmScheme
+from repro.mitigations.rfm_graphene import RfmGrapheneScheme
+from repro.mitigations.twice import TwiceScheme
+
+ROWS_PER_BANK = 1 << 10
+
+
+def _factories():
+    return {
+        "mithril": lambda: MithrilScheme(
+            n_entries=8, rfm_th=4, rows_per_bank=ROWS_PER_BANK,
+            counter_bits=62,
+        ),
+        "mithril-adaptive": lambda: MithrilScheme(
+            n_entries=8, rfm_th=4, adaptive_th=16,
+            rows_per_bank=ROWS_PER_BANK, counter_bits=62,
+        ),
+        "para": lambda: ParaScheme(
+            flip_th=64, rows_per_bank=ROWS_PER_BANK, seed=3
+        ),
+        "parfm": lambda: ParfmScheme(rows_per_bank=ROWS_PER_BANK, seed=4),
+        "graphene": lambda: GrapheneScheme(
+            flip_th=64, rows_per_bank=ROWS_PER_BANK
+        ),
+        "rfm-graphene": lambda: RfmGrapheneScheme(
+            threshold=8, n_entries=16, rows_per_bank=ROWS_PER_BANK
+        ),
+        "twice": lambda: TwiceScheme(
+            flip_th=64, rows_per_bank=ROWS_PER_BANK
+        ),
+        "cbt": lambda: CbtScheme(
+            flip_th=64, rows_per_bank=ROWS_PER_BANK, num_counters=32
+        ),
+        "blockhammer": lambda: BlockHammerScheme(
+            flip_th=1_500, cbf_size=64, n_bl=8
+        ),
+    }
+
+
+streams = st.lists(
+    st.integers(min_value=0, max_value=ROWS_PER_BANK - 1),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(st.sampled_from(sorted(_factories())), streams)
+@settings(max_examples=200, deadline=None)
+def test_victims_valid_and_distinct_from_aggressor(name, stream):
+    scheme = _factories()[name]()
+    cycle = 0
+    for i, row in enumerate(stream):
+        cycle += 117
+        victims = scheme.on_activate(row, cycle)
+        for victim in victims:
+            assert 0 <= victim < ROWS_PER_BANK
+            assert victim != row
+        if scheme.uses_rfm and (i + 1) % 4 == 0:
+            for victim in scheme.on_rfm(cycle):
+                assert 0 <= victim < ROWS_PER_BANK
+
+
+@given(st.sampled_from(sorted(_factories())), streams)
+@settings(max_examples=100, deadline=None)
+def test_stats_track_acts(name, stream):
+    scheme = _factories()[name]()
+    for i, row in enumerate(stream):
+        scheme.on_activate(row, i * 117)
+    assert scheme.stats.acts_observed == len(stream)
+
+
+@given(st.sampled_from(sorted(_factories())), streams,
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=100, deadline=None)
+def test_throttle_release_never_in_the_past(name, stream, cycle):
+    scheme = _factories()[name]()
+    for i, row in enumerate(stream):
+        scheme.on_activate(row, i * 117)
+    for row in set(stream):
+        assert scheme.throttle_release(row, cycle) >= cycle
+
+
+@given(st.sampled_from(sorted(_factories())), streams)
+@settings(max_examples=60, deadline=None)
+def test_rfm_flag_is_boolean(name, stream):
+    scheme = _factories()[name]()
+    for i, row in enumerate(stream):
+        scheme.on_activate(row, i * 117)
+    assert scheme.rfm_needed_flag() in (True, False)

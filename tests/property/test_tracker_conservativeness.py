@@ -1,0 +1,84 @@
+"""Property tests: deterministic trackers never *undercount* hazards.
+
+The deterministic guarantee hinges on conservative tracking: a row's
+tracked state must upper-bound its actual ACT count since its last
+preventive refresh.  Checked for TWiCe's table and CBT's grouped
+counters under arbitrary streams.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mitigations.cbt import CbtScheme
+from repro.mitigations.twice import TwiceScheme
+
+streams = st.lists(st.integers(min_value=1, max_value=62), min_size=1,
+                   max_size=400)
+
+
+@given(streams)
+@settings(max_examples=150, deadline=None)
+def test_twice_entry_counts_are_exact_until_arr(stream):
+    """Within one tREFI (no pruning checkpoint), TWiCe counts exactly;
+    an ARR retires the entry, restarting the count."""
+    scheme = TwiceScheme(flip_th=400, rows_per_bank=64)  # threshold 100
+    actual = Counter()
+    for row in stream:
+        victims = scheme.on_activate(row, cycle=0)
+        actual[row] += 1
+        if victims:
+            actual[row] = 0
+        entry = scheme._entries.get(row)
+        tracked = entry.act_count if entry is not None else 0
+        assert tracked == actual[row]
+
+
+@given(streams)
+@settings(max_examples=150, deadline=None)
+def test_twice_always_fires_at_threshold(stream):
+    """No row can exceed the ARR threshold without an ARR."""
+    scheme = TwiceScheme(flip_th=40, rows_per_bank=64)  # threshold 10
+    since_refresh = Counter()
+    for row in stream:
+        victims = scheme.on_activate(row, cycle=0)
+        since_refresh[row] += 1
+        if victims:
+            since_refresh[row] = 0
+        assert since_refresh[row] <= scheme.arr_threshold
+
+
+@given(streams)
+@settings(max_examples=150, deadline=None)
+def test_cbt_leaf_count_upper_bounds_actual(stream):
+    """Every CBT leaf's counter >= the ACTs its range received since
+    that counter last reset (split inheritance keeps it conservative)."""
+    scheme = CbtScheme(flip_th=80, rows_per_bank=64, num_counters=16)
+    acts_since_reset = Counter()  # per row
+    for row in stream:
+        victims = scheme.on_activate(row, cycle=0)
+        acts_since_reset[row] += 1
+        if victims:
+            # the refreshed range restarts its rows' hazard
+            lo, hi = victims[0], victims[-1]
+            for covered in range(lo, hi + 1):
+                acts_since_reset[covered] = 0
+        leaf = scheme._find_leaf(row)
+        range_actual = sum(
+            count
+            for covered, count in acts_since_reset.items()
+            if leaf.lo <= covered <= leaf.hi
+        )
+        assert leaf.count >= min(range_actual, scheme.refresh_threshold - 1) or \
+            leaf.count >= range_actual
+
+
+@given(streams)
+@settings(max_examples=100, deadline=None)
+def test_cbt_counter_budget_invariant(stream):
+    scheme = CbtScheme(flip_th=80, rows_per_bank=64, num_counters=7)
+    for row in stream:
+        scheme.on_activate(row, cycle=0)
+        assert scheme._counters_used <= scheme.num_counters
+        assert scheme.leaf_count <= scheme._counters_used

@@ -1,0 +1,59 @@
+"""Unit tests for the adversary stream generators."""
+
+import itertools
+
+import pytest
+
+from repro.verify.adversary import (
+    double_sided_stream,
+    feinting_stream,
+    half_double_stream,
+    many_sided_stream,
+    random_stream,
+    round_robin_stream,
+)
+
+
+class TestStreams:
+    def test_double_sided_alternates(self):
+        rows = list(double_sided_stream(100, 6))
+        assert rows == [99, 101, 99, 101, 99, 101]
+
+    def test_many_sided_covers_all(self):
+        rows = list(many_sided_stream(5, 10, base_row=10, spacing=2))
+        assert sorted(set(rows)) == [10, 12, 14, 16, 18]
+
+    def test_round_robin_length(self):
+        rows = list(round_robin_stream(3, 7))
+        assert len(rows) == 7
+        assert rows[:3] == rows[3:6]
+
+    def test_feinting_equalizes_rounds(self):
+        rows = list(feinting_stream(3, 2, 2, base_row=0, spacing=1))
+        # two rounds of (0,0,1,1,2,2)
+        assert rows == [0, 0, 1, 1, 2, 2] * 2
+
+    def test_half_double_mostly_distance_two(self):
+        rows = list(half_double_stream(100, 100, far_fraction=0.9))
+        far = sum(1 for r in rows if abs(r - 100) == 2)
+        near = sum(1 for r in rows if abs(r - 100) == 1)
+        assert far + near == 100
+        assert far >= 85
+
+    def test_half_double_touches_both_sides(self):
+        rows = set(half_double_stream(100, 40))
+        assert {98, 102} <= rows
+
+    def test_random_stream_deterministic(self):
+        a = list(random_stream(100, 50, seed=3))
+        b = list(random_stream(100, 50, seed=3))
+        assert a == b
+
+    def test_random_stream_in_range(self):
+        rows = list(random_stream(10, 200, base_row=50))
+        assert all(50 <= r < 60 for r in rows)
+
+    def test_streams_are_lazy(self):
+        stream = double_sided_stream(100, 10**12)
+        first = list(itertools.islice(stream, 4))
+        assert first == [99, 101, 99, 101]

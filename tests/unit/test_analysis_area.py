@@ -1,0 +1,68 @@
+"""Unit tests for the area model (Table IV)."""
+
+import pytest
+
+from repro.analysis.area import (
+    blockhammer_table_kb,
+    cbt_table_kb,
+    graphene_table_kb,
+    mithril_table_kb,
+    table_size_comparison,
+    twice_table_kb,
+)
+from repro.params import PAPER_FLIP_THRESHOLDS
+
+
+class TestSchemeSizes:
+    def test_blockhammer_matches_paper_exactly(self):
+        """The CBF accounting reproduces Table IV's BlockHammer row."""
+        expected = {50_000: 3.75, 25_000: 3.5, 12_500: 3.25,
+                    6_250: 6.0, 3_125: 11.0, 1_500: 18.0}
+        for flip_th, kb in expected.items():
+            assert blockhammer_table_kb(flip_th) == pytest.approx(kb, rel=0.15)
+
+    def test_mithril_matches_paper_scale(self):
+        """Mithril-128 @ 6.25K is ~0.84KB in the paper."""
+        kb = mithril_table_kb(6_250, rfm_th=128)
+        assert 0.5 < kb < 1.2
+
+    def test_mithril_infeasible_returns_none(self):
+        assert mithril_table_kb(1_500, rfm_th=256) is None
+
+    def test_sizes_grow_as_flip_th_shrinks(self):
+        for model in (graphene_table_kb, twice_table_kb, cbt_table_kb):
+            sizes = [model(f) for f in (50_000, 12_500, 3_125)]
+            assert sizes == sorted(sizes)
+
+    def test_twice_larger_than_graphene(self):
+        """Table IV: TWiCe needs an order of magnitude more storage."""
+        for flip_th in PAPER_FLIP_THRESHOLDS:
+            assert twice_table_kb(flip_th) > 5 * graphene_table_kb(flip_th)
+
+    def test_mithril_smaller_than_blockhammer(self):
+        """Figure 10(e): 4x to 60x smaller at every FlipTH."""
+        for flip_th in PAPER_FLIP_THRESHOLDS:
+            rfm_th = {1_500: 32, 3_125: 64}.get(flip_th, 128)
+            mithril = mithril_table_kb(flip_th, rfm_th)
+            assert mithril is not None
+            ratio = blockhammer_table_kb(flip_th) / mithril
+            assert ratio > 3
+
+    def test_mithril_smaller_than_graphene(self):
+        """No reset + bounded counter width -> smaller than Graphene."""
+        for flip_th in (50_000, 25_000, 12_500, 6_250):
+            mithril = mithril_table_kb(flip_th, rfm_th=128)
+            assert mithril < graphene_table_kb(flip_th)
+
+
+class TestComparisonTable:
+    def test_covers_all_schemes_and_thresholds(self):
+        table = table_size_comparison()
+        assert "Mithril-128 @ DRAM" in table
+        assert "BlockHammer @ MC" in table
+        for scheme, row in table.items():
+            assert set(row) == set(PAPER_FLIP_THRESHOLDS)
+
+    def test_infeasible_cells_are_none(self):
+        table = table_size_comparison()
+        assert table["Mithril-256 @ DRAM"][1_500] is None

@@ -1,0 +1,70 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyModel,
+    dynamic_energy_nj,
+    energy_overhead_percent,
+)
+from repro.sim.metrics import SimulationResult
+from repro.types import EnergyCounts
+
+
+def _result(**energy_kwargs) -> SimulationResult:
+    return SimulationResult(
+        scheme_name="x",
+        total_cycles=1000,
+        per_core_instructions=[100],
+        per_core_finish_cycles=[1000],
+        energy=EnergyCounts(**energy_kwargs),
+    )
+
+
+class TestEnergyModel:
+    def test_acts_dominate(self):
+        model = EnergyModel()
+        energy = model.energy_nj(EnergyCounts(acts=100))
+        assert energy == pytest.approx(100 * model.act_pre_nj)
+
+    def test_preventive_refresh_costs_per_row(self):
+        model = EnergyModel()
+        a = model.energy_nj(EnergyCounts(preventive_refresh_rows=10))
+        b = model.energy_nj(EnergyCounts(preventive_refresh_rows=20))
+        assert b == pytest.approx(2 * a)
+
+    def test_auto_refresh_scaled_by_group_size(self, organization):
+        model = EnergyModel()
+        energy = model.energy_nj(
+            EnergyCounts(auto_refreshes=1), organization
+        )
+        assert energy == pytest.approx(
+            organization.rows_per_refresh_group * model.refresh_row_nj
+        )
+
+    def test_mrr_and_rfm_counted(self):
+        model = EnergyModel()
+        energy = model.energy_nj(
+            EnergyCounts(rfm_commands=2, mrr_commands=3)
+        )
+        assert energy == pytest.approx(
+            2 * model.rfm_command_nj + 3 * model.mrr_nj
+        )
+
+
+class TestOverheadPercent:
+    def test_zero_overhead_for_identical_runs(self):
+        a = _result(acts=100, reads=50)
+        assert energy_overhead_percent(a, a) == 0.0
+
+    def test_overhead_from_preventive_refreshes(self):
+        base = _result(acts=1000, reads=500)
+        protected = _result(acts=1000, reads=500, preventive_refresh_rows=100)
+        overhead = energy_overhead_percent(protected, base)
+        assert overhead > 0
+
+    def test_dynamic_energy_includes_tracker(self):
+        result = _result(acts=10)
+        result.acts = 10
+        with_tracker = dynamic_energy_nj(result)
+        assert with_tracker > EnergyModel().energy_nj(EnergyCounts(acts=10)) - 1e-9

@@ -1,0 +1,63 @@
+"""Unit tests for the PARFM failure-probability analysis (Appendix C)."""
+
+import pytest
+
+from repro.analysis.parfm_failure import (
+    parfm_bank_failure_probability,
+    parfm_rfm_th_for,
+    parfm_system_failure_probability,
+)
+
+
+class TestFailureProbability:
+    def test_probability_in_unit_interval(self):
+        for rfm_th in (4, 16, 64):
+            p = parfm_bank_failure_probability(rfm_th, flip_th=6_250)
+            assert 0.0 <= p <= 1.0
+
+    def test_failure_grows_with_rfm_th(self):
+        low = parfm_bank_failure_probability(8, flip_th=6_250)
+        high = parfm_bank_failure_probability(64, flip_th=6_250)
+        assert high > low
+
+    def test_failure_shrinks_with_flip_th(self):
+        weak = parfm_bank_failure_probability(32, flip_th=1_500)
+        strong = parfm_bank_failure_probability(32, flip_th=12_500)
+        assert strong < weak
+
+    def test_system_failure_scales_with_banks(self):
+        one = parfm_system_failure_probability(32, 6_250, n_banks=1)
+        many = parfm_system_failure_probability(32, 6_250, n_banks=22)
+        assert many >= one
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            parfm_bank_failure_probability(1, 6_250)
+        with pytest.raises(ValueError):
+            parfm_bank_failure_probability(16, 2)
+
+
+class TestRfmThSelection:
+    def test_selected_rfm_th_meets_target(self):
+        for flip_th in (6_250, 12_500):
+            rfm_th = parfm_rfm_th_for(flip_th, target=1e-15)
+            assert rfm_th is not None
+            assert parfm_system_failure_probability(rfm_th, flip_th) < 1e-15
+            # one step larger must violate the target (maximality)
+            assert (
+                parfm_system_failure_probability(rfm_th + 1, flip_th) >= 1e-15
+            )
+
+    def test_lower_flip_th_needs_lower_rfm_th(self):
+        """The paper's key point: PARFM must issue RFMs more often than
+        Mithril as FlipTH shrinks."""
+        high = parfm_rfm_th_for(25_000)
+        low = parfm_rfm_th_for(1_500)
+        assert low < high
+
+    def test_parfm_rfm_th_below_mithril(self):
+        """At low FlipTH, PARFM's RFM_TH is below Mithril's (Section VI)."""
+        from repro.params import MITHRIL_DEFAULT_RFM_TH
+
+        rfm_th = parfm_rfm_th_for(1_500)
+        assert rfm_th < MITHRIL_DEFAULT_RFM_TH[1_500]

@@ -1,0 +1,73 @@
+"""Unit tests for the attack trace generators."""
+
+import pytest
+
+from repro.workloads.attacks import (
+    blockhammer_adversarial_trace,
+    double_sided_trace,
+    find_aliasing_rows,
+    multi_sided_trace,
+    rotation_attack_trace,
+)
+from repro.streaming.counting_bloom import CountingBloomFilter
+
+
+class TestDoubleSided:
+    def test_alternates_neighbors(self):
+        trace = double_sided_trace(victim_row=100, total_requests=6)
+        rows = [e.row for e in trace.entries]
+        assert rows == [99, 101, 99, 101, 99, 101]
+
+    def test_every_access_misses(self):
+        """Alternating rows defeats the row buffer: all ACTs."""
+        trace = double_sided_trace(victim_row=100, total_requests=10)
+        rows = [e.row for e in trace.entries]
+        assert all(a != b for a, b in zip(rows, rows[1:]))
+
+
+class TestMultiSided:
+    def test_aggressor_spacing_leaves_victims(self):
+        trace = multi_sided_trace(num_victims=4, base_row=10, total_requests=10)
+        rows = sorted({e.row for e in trace.entries})
+        assert rows == [10, 12, 14, 16, 18]
+
+    def test_rotation_covers_all_aggressors(self):
+        trace = multi_sided_trace(num_victims=32, total_requests=33)
+        assert len({e.row for e in trace.entries}) == 33
+
+
+class TestRotation:
+    def test_row_count(self):
+        trace = rotation_attack_trace(num_rows=7, total_requests=21)
+        assert len({e.row for e in trace.entries}) == 7
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            rotation_attack_trace(num_rows=0)
+
+
+class TestBlockHammerAdversarial:
+    def test_finds_aliases_in_small_filter(self):
+        cbf = CountingBloomFilter(size=32, num_hashes=2)
+        aliases = find_aliasing_rows(cbf, target_row=5, count=4,
+                                     search_space=8192)
+        assert aliases
+        target = set(cbf._indices(5))
+        for alias in aliases:
+            assert target & set(cbf._indices(alias))
+
+    def test_trace_alternates_rows(self):
+        trace = blockhammer_adversarial_trace(
+            benign_rows=[100], cbf_size=64, blacklist_threshold=16,
+            total_requests=20,
+        )
+        rows = [e.row for e in trace.entries]
+        assert len(set(rows)) >= 2
+        assert all(a != b for a, b in zip(rows, rows[1:]))
+
+    def test_trace_is_reads_only(self):
+        trace = blockhammer_adversarial_trace(
+            benign_rows=[10, 20], cbf_size=128, blacklist_threshold=8,
+            total_requests=12,
+        )
+        assert all(not e.is_write for e in trace.entries)

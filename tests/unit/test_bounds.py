@@ -1,0 +1,124 @@
+"""Unit tests for Theorems 1 and 2 (the bound M / M')."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    adaptive_bound,
+    estimated_growth_bound,
+    harmonic,
+    is_safe,
+    max_counter_spread,
+    rfm_intervals_per_window,
+    wrapping_counter_bits,
+)
+from repro.params import DramTimings
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25.0 / 12.0)
+
+    def test_asymptotic_matches_exact(self):
+        exact = sum(1.0 / k for k in range(1, 20_001))
+        assert harmonic(20_000) == pytest.approx(exact, rel=1e-9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestTheorem1:
+    def test_formula_matches_manual_computation(self):
+        n, rfm_th = 100, 64
+        w = rfm_intervals_per_window(rfm_th)
+        expected = rfm_th * harmonic(n)
+        expected += rfm_th * (w - n) / n
+        expected += rfm_th * (n - 2) / n
+        assert estimated_growth_bound(n, rfm_th) == pytest.approx(expected)
+
+    def test_bound_decreases_with_entries(self):
+        values = [estimated_growth_bound(n, 64) for n in (32, 128, 512, 2048)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bound_monotone_in_rfm_th_for_fixed_entries(self):
+        # Larger RFM_TH -> fewer intervals but much bigger per-interval
+        # budget; for realistic table sizes the bound grows.
+        values = [estimated_growth_bound(256, r) for r in (32, 64, 128, 256)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            estimated_growth_bound(0, 64)
+        with pytest.raises(ValueError):
+            estimated_growth_bound(64, 0)
+
+    def test_paper_scale_sanity(self):
+        # Section VI: FlipTH=6.25K works at RFM_TH=128 with a ~1KB table.
+        bound = estimated_growth_bound(260, 128)
+        assert bound < 6_250 / 2
+
+    def test_respects_custom_timings(self):
+        fast = DramTimings(trefw=16e6, trefi=16e6 / 8192)
+        slow_bound = estimated_growth_bound(128, 64)
+        fast_bound = estimated_growth_bound(128, 64, timings=fast)
+        assert fast_bound < slow_bound  # shorter window, fewer intervals
+
+
+class TestTheorem2:
+    def test_adth_zero_equals_theorem1(self):
+        assert adaptive_bound(128, 64, 0) == estimated_growth_bound(128, 64)
+
+    def test_bound_never_below_theorem1(self):
+        for adth in (50, 100, 200, 400):
+            assert adaptive_bound(256, 64, adth) >= estimated_growth_bound(256, 64)
+
+    def test_bound_grows_with_adth(self):
+        values = [adaptive_bound(256, 64, a) for a in (0, 100, 200, 400)]
+        assert values == sorted(values)
+
+    def test_extra_entries_needed_is_small(self):
+        """Figure 7: AdTH=200 costs at most ~12% extra Nentry."""
+        from repro.core.config import min_entries_for
+
+        for flip_th, rfm_th in ((6_250, 64), (3_125, 16)):
+            base = min_entries_for(flip_th, rfm_th, 0)
+            adaptive = min_entries_for(flip_th, rfm_th, 200)
+            assert base is not None and adaptive is not None
+            assert adaptive >= base
+            assert adaptive <= base * 1.3
+
+    def test_rejects_negative_adth(self):
+        with pytest.raises(ValueError):
+            adaptive_bound(128, 64, -1)
+
+
+class TestSafetyPredicate:
+    def test_safe_configuration(self):
+        assert is_safe(n_entries=525, rfm_th=64, flip_th=3_125)
+
+    def test_unsafe_configuration(self):
+        assert not is_safe(n_entries=8, rfm_th=256, flip_th=1_500)
+
+    def test_blast_multiplier_tightens(self):
+        # A config safe for double-sided may fail for blast range 3.
+        n, rfm_th, flip_th = 525, 64, 3_125
+        assert is_safe(n, rfm_th, flip_th, blast_multiplier=2.0)
+        assert not is_safe(n, rfm_th, flip_th, blast_multiplier=3.5)
+
+
+class TestWrappingCounterSizing:
+    def test_spread_bound(self):
+        assert max_counter_spread(64, 512) == 128
+
+    def test_bits_cover_spread(self):
+        bits = wrapping_counter_bits(64, 512)
+        assert (1 << bits) > 2 * max_counter_spread(64, 512)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            max_counter_spread(0, 16)

@@ -1,0 +1,65 @@
+"""Unit tests for the counter-based tree."""
+
+import pytest
+
+from repro.mitigations.cbt import CbtScheme
+
+
+class TestCbtScheme:
+    def test_starts_as_single_counter(self):
+        scheme = CbtScheme(flip_th=1000, rows_per_bank=64)
+        assert scheme.leaf_count == 1
+        assert scheme.tree_depth == 1
+
+    def test_splits_on_hot_subtree(self):
+        scheme = CbtScheme(
+            flip_th=64, rows_per_bank=64, num_counters=16
+        )  # split at 8
+        for _ in range(10):
+            scheme.on_activate(5, 0)
+        assert scheme.leaf_count > 1
+
+    def test_split_inherits_count_conservatively(self):
+        scheme = CbtScheme(flip_th=64, rows_per_bank=64, num_counters=4)
+        for _ in range(8):
+            scheme.on_activate(5, 0)
+        root = scheme._root
+        if not root.is_leaf:
+            assert root.left.count >= 8 or root.right.count >= 8
+
+    def test_counter_budget_respected(self):
+        scheme = CbtScheme(flip_th=64, rows_per_bank=1024, num_counters=5)
+        for row in range(0, 1024, 7):
+            for _ in range(12):
+                scheme.on_activate(row, 0)
+        assert scheme._counters_used <= 5
+
+    def test_refresh_covers_leaf_range_plus_neighbors(self):
+        scheme = CbtScheme(flip_th=16, rows_per_bank=64, num_counters=1)
+        victims = []
+        for _ in range(4):  # refresh threshold = 4, no split budget
+            victims = scheme.on_activate(32, 0)
+        assert victims  # whole-bank leaf refresh
+        assert victims[0] == 0 and victims[-1] == 63
+        assert scheme.refreshed_rows_histogram[-1] == 64
+
+    def test_drilled_down_leaf_refreshes_narrow_range(self):
+        scheme = CbtScheme(flip_th=64, rows_per_bank=256, num_counters=64)
+        victims = []
+        for _ in range(40):
+            new = scheme.on_activate(100, 0)
+            if new:
+                victims = new
+                break
+        assert victims
+        assert len(victims) <= 4  # leaf drilled to small span
+
+    def test_rejects_out_of_range_row(self):
+        scheme = CbtScheme(flip_th=64, rows_per_bank=8)
+        with pytest.raises(ValueError):
+            scheme.on_activate(8, 0)
+
+    def test_default_counter_budget_scales_with_flip_th(self):
+        big = CbtScheme(flip_th=1_500)
+        small = CbtScheme(flip_th=50_000)
+        assert big.num_counters > small.num_counters

@@ -1,0 +1,97 @@
+"""Unit tests for the Mithril configuration search (Figure 6)."""
+
+import pytest
+
+from repro.core.bounds import adaptive_bound
+from repro.core.config import (
+    MithrilConfig,
+    configuration_curve,
+    lossy_counting_bound,
+    lossy_counting_entries,
+    min_entries_for,
+    paper_default_config,
+)
+
+
+class TestMinEntries:
+    def test_returned_config_is_safe(self):
+        for flip_th, rfm_th in ((50_000, 256), (6_250, 128), (1_500, 32)):
+            n = min_entries_for(flip_th, rfm_th)
+            assert n is not None
+            assert adaptive_bound(n, rfm_th, 0) < flip_th / 2
+
+    def test_minimality(self):
+        n = min_entries_for(6_250, 128)
+        assert adaptive_bound(n - 1, 128, 0) >= 6_250 / 2
+
+    def test_infeasible_returns_none(self):
+        # FlipTH=1.5K cannot be protected at RFM_TH=256 (Figure 6).
+        assert min_entries_for(1_500, 256) is None
+
+    def test_lower_rfm_th_needs_fewer_entries(self):
+        high = min_entries_for(6_250, 256)
+        low = min_entries_for(6_250, 32)
+        assert low < high
+
+    def test_rejects_bad_flip_th(self):
+        with pytest.raises(ValueError):
+            min_entries_for(0, 64)
+
+    def test_paper_table_iv_scale(self):
+        """Mithril-128 @ FlipTH 6.25K should be ~0.8-1KB (paper: 0.84KB)."""
+        n = min_entries_for(6_250, 128)
+        config = MithrilConfig(flip_th=6_250, rfm_th=128, n_entries=n)
+        assert 0.5 < config.table_kilobytes() < 1.2
+
+
+class TestConfigurationCurve:
+    def test_curve_monotone_tradeoff(self):
+        """Figure 6: larger RFM_TH -> larger table, for any FlipTH."""
+        curve = configuration_curve(6_250, rfm_th_values=(16, 32, 64, 128, 256))
+        sizes = [c.n_entries for c in curve]
+        assert sizes == sorted(sizes)
+
+    def test_low_flip_th_excludes_high_rfm_th(self):
+        curve = configuration_curve(1_500, rfm_th_values=(32, 64, 128, 256))
+        present = {c.rfm_th for c in curve}
+        assert 256 not in present
+        assert 32 in present
+
+    def test_every_config_is_safe(self):
+        for config in configuration_curve(12_500):
+            assert config.bound < config.flip_th / 2
+
+
+class TestLossyCountingComparison:
+    def test_lossy_needs_more_entries_than_cbs(self):
+        """Figure 6 dotted lines: Lossy-Counting tables are larger."""
+        for flip_th in (50_000, 25_000):
+            cbs = min_entries_for(flip_th, 256)
+            lossy = lossy_counting_entries(flip_th, 256)
+            assert lossy is not None
+            assert lossy > cbs
+
+    def test_lossy_bound_above_cbs_bound(self):
+        from repro.core.bounds import estimated_growth_bound
+
+        assert lossy_counting_bound(128, 64) > estimated_growth_bound(128, 64)
+
+
+class TestPaperDefaultConfig:
+    def test_known_thresholds(self):
+        config = paper_default_config(6_250)
+        assert config.rfm_th == 128
+        assert config.bound < 6_250 / 2
+
+    def test_adaptive_th_carried(self):
+        config = paper_default_config(6_250, adaptive_th=200)
+        assert config.adaptive_th == 200
+        assert config.n_entries >= paper_default_config(6_250).n_entries
+
+    def test_unknown_threshold_falls_back(self):
+        config = paper_default_config(10_000)
+        assert config.bound < 10_000 / 2
+
+    def test_table_bits_positive(self):
+        config = paper_default_config(3_125)
+        assert config.table_bits() > 0

@@ -1,0 +1,63 @@
+"""Unit tests for the physical cost model."""
+
+import pytest
+
+from repro.analysis.cost_model import (
+    logic_area_mm2,
+    mc_table_cost,
+    mithril_module_cost,
+    paper_headline_check,
+)
+from repro.core.config import MithrilConfig, paper_default_config
+
+
+class TestLogicArea:
+    def test_scales_linearly_with_bits(self):
+        assert logic_area_mm2(2_000) == pytest.approx(
+            2 * logic_area_mm2(1_000)
+        )
+
+    def test_sram_cheaper_than_cam(self):
+        assert logic_area_mm2(0, sram_bits=1_000) < logic_area_mm2(1_000)
+
+    def test_zero_bits_zero_area(self):
+        assert logic_area_mm2(0) == 0.0
+
+
+class TestMithrilModuleCost:
+    def test_paper_headline_order_of_magnitude(self):
+        """Paper: ~0.024 mm^2 per bank at FlipTH = 6.25K, ~1% of chip."""
+        check = paper_headline_check(6_250)
+        assert 0.005 < check["module_mm2"] < 0.1
+        assert 0.2 < check["chip_fraction_pct"] < 5.0
+
+    def test_cost_grows_with_table(self):
+        small = mithril_module_cost(paper_default_config(50_000))
+        large = mithril_module_cost(paper_default_config(1_500))
+        assert large.area_mm2 > 5 * small.area_mm2
+
+    def test_per_chip_is_per_bank_times_banks(self, organization):
+        config = paper_default_config(6_250)
+        cost = mithril_module_cost(config, organization)
+        assert cost.per_chip_area_mm2 == pytest.approx(
+            cost.area_mm2 * organization.banks_per_rank
+        )
+
+    def test_summary_keys(self):
+        cost = mithril_module_cost(paper_default_config(6_250))
+        summary = cost.summary()
+        for key in ("storage_bits", "area_mm2", "chip_fraction_pct"):
+            assert key in summary
+
+
+class TestMcTableCost:
+    def test_mc_table_cheaper_per_bit_than_dram_module(self):
+        bits = 10_000
+        mc = mc_table_cost(bits)
+        config = MithrilConfig(flip_th=6_250, rfm_th=128, n_entries=1)
+        # same bit count on the DRAM die costs ~10x more
+        dram_area = logic_area_mm2(bits)
+        assert mc.area_mm2 < dram_area / 5
+
+    def test_chip_fraction_not_applicable(self):
+        assert mc_table_cost(1_000).chip_fraction == 0.0

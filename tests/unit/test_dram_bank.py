@@ -1,0 +1,123 @@
+"""Unit tests for the per-bank timing state machine."""
+
+import pytest
+
+from repro.dram.bank import BankTimingModel, FawTracker
+from repro.params import DramTimings
+
+
+@pytest.fixture
+def bank(timings):
+    return BankTimingModel(timings)
+
+
+class TestRowBufferBehaviour:
+    def test_first_access_activates(self, bank):
+        result = bank.serve_access(row=5, cycle=0)
+        assert result.activated
+        assert not result.row_hit
+        assert bank.open_row == 5
+
+    def test_second_access_same_row_hits(self, bank):
+        bank.serve_access(row=5, cycle=0)
+        result = bank.serve_access(row=5, cycle=bank.ready_cycle)
+        assert result.row_hit
+        assert not result.activated
+
+    def test_conflict_precharges(self, bank):
+        bank.serve_access(row=5, cycle=0)
+        result = bank.serve_access(row=9, cycle=bank.ready_cycle)
+        assert result.precharged
+        assert result.activated
+        assert bank.open_row == 9
+
+    def test_close_after_precharges(self, bank):
+        result = bank.serve_access(row=5, cycle=0, close_after=True)
+        assert result.precharged
+        assert bank.open_row is None
+
+    def test_row_hit_faster_than_miss(self, timings):
+        hit_bank = BankTimingModel(timings)
+        hit_bank.serve_access(row=1, cycle=0)
+        start = hit_bank.ready_cycle
+        hit = hit_bank.serve_access(row=1, cycle=start)
+
+        miss_bank = BankTimingModel(timings)
+        miss_bank.serve_access(row=1, cycle=0)
+        miss = miss_bank.serve_access(row=2, cycle=start)
+        assert hit.data_cycle < miss.data_cycle
+
+
+class TestTimingConstraints:
+    def test_trc_spacing_between_acts(self, bank, timings):
+        first = bank.serve_access(row=1, cycle=0)
+        second = bank.serve_access(row=2, cycle=first.ready_cycle)
+        # The second ACT cannot be earlier than tRC after the first.
+        assert second.data_cycle - first.start_cycle >= timings.trc_cycles
+
+    def test_act_not_before_honored(self, bank):
+        result = bank.serve_access(row=1, cycle=0, act_not_before=500)
+        assert result.data_cycle > 500
+
+    def test_bus_contention_delays_data(self, bank):
+        result = bank.serve_access(row=1, cycle=0, bus_free_cycle=10_000)
+        assert result.data_cycle > 10_000
+
+    def test_block_for_delays_next_access(self, bank, timings):
+        bank.serve_access(row=1, cycle=0)
+        freed = bank.block_for(bank.ready_cycle, 1000)
+        result = bank.serve_access(row=2, cycle=0)
+        assert result.start_cycle >= freed - 1000  # started after the block
+
+    def test_block_for_closes_row(self, bank):
+        bank.serve_access(row=1, cycle=0)
+        bank.block_for(bank.ready_cycle, 100)
+        assert bank.open_row is None
+
+    def test_activate_only_counts_act(self, bank):
+        before = bank.act_count
+        bank.activate_only(row=7, cycle=0)
+        assert bank.act_count == before + 1
+        assert bank.open_row == 7
+
+
+class TestFawTracker:
+    def test_first_four_acts_unconstrained(self):
+        faw = FawTracker(tfaw_cycles=32)
+        for t in (0, 1, 2, 3):
+            assert faw.earliest_act(t) == t
+            faw.record_act(t)
+
+    def test_fifth_act_waits(self):
+        faw = FawTracker(tfaw_cycles=32)
+        for t in range(4):
+            faw.record_act(t)
+        assert faw.earliest_act(4) == 32  # 0 + tFAW
+
+    def test_window_slides(self):
+        faw = FawTracker(tfaw_cycles=32)
+        for t in (0, 10, 20, 30):
+            faw.record_act(t)
+        assert faw.earliest_act(31) == 32
+        faw.record_act(32)
+        # window is now (10,20,30,32): next act >= 10+32
+        assert faw.earliest_act(33) == 42
+
+    def test_bank_uses_faw(self, timings):
+        faw = FawTracker(timings.cycles(timings.tfaw))
+        bank = BankTimingModel(timings, faw=faw)
+        # Exhaust the window through the shared tracker.
+        for t in range(4):
+            faw.record_act(t)
+        result = bank.serve_access(row=1, cycle=4)
+        assert result.data_cycle >= timings.cycles(timings.tfaw)
+
+
+class TestStatistics:
+    def test_counts(self, bank):
+        bank.serve_access(row=1, cycle=0)
+        bank.serve_access(row=1, cycle=bank.ready_cycle)
+        bank.serve_access(row=2, cycle=bank.ready_cycle)
+        assert bank.access_count == 3
+        assert bank.act_count == 2
+        assert bank.pre_count == 1

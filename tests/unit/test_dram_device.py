@@ -1,0 +1,103 @@
+"""Unit tests for the DRAM chip aggregation (Figure 4)."""
+
+import pytest
+
+from repro.core.mithril import MithrilScheme
+from repro.dram.device import (
+    MR_RFM_FLAG,
+    CommandError,
+    DramChip,
+    DramCommand,
+)
+from repro.types import CommandKind
+
+
+def _mithril_chip(**kwargs) -> DramChip:
+    return DramChip(
+        scheme_factory=lambda: MithrilScheme(
+            n_entries=8, rfm_th=4, **kwargs
+        ),
+        flip_th=1_000,
+    )
+
+
+class TestCommandDecoding:
+    def test_act_updates_tracker_and_hammer(self):
+        chip = _mithril_chip()
+        chip.execute(DramCommand(CommandKind.ACT, bank=3, row=100))
+        assert chip.schemes[3].table.estimate(100) == 1
+        assert chip.hammer[3].disturbance(99) == 1.0
+
+    def test_act_requires_row(self):
+        chip = _mithril_chip()
+        with pytest.raises(CommandError):
+            chip.execute(DramCommand(CommandKind.ACT, bank=0))
+
+    def test_bank_bounds_checked(self):
+        chip = _mithril_chip()
+        with pytest.raises(CommandError):
+            chip.execute(DramCommand(CommandKind.ACT, bank=99, row=1))
+
+    def test_rfm_refreshes_victims(self):
+        chip = _mithril_chip()
+        for _ in range(3):
+            chip.execute(DramCommand(CommandKind.ACT, bank=0, row=100))
+        victims = chip.execute(DramCommand(CommandKind.RFM, bank=0))
+        assert sorted(victims) == [99, 101]
+        assert chip.hammer[0].disturbance(99) == 0.0
+        assert chip.preventive_refreshes == 2
+
+    def test_per_bank_isolation(self):
+        chip = _mithril_chip()
+        chip.execute(DramCommand(CommandKind.ACT, bank=0, row=100))
+        assert chip.schemes[1].table.estimate(100) == 0
+
+    def test_ref_restores_group(self):
+        chip = _mithril_chip()
+        chip.execute(DramCommand(CommandKind.ACT, bank=0, row=1))
+        chip.execute(DramCommand(CommandKind.REF, bank=0, cycle=10**9))
+        # group 0 covers rows 0..7, clearing the victims of row 1
+        assert chip.hammer[0].disturbance(0) == 0.0
+        assert chip.hammer[0].disturbance(2) == 0.0
+
+    def test_rd_wr_pre_are_accepted(self):
+        chip = _mithril_chip()
+        for kind in (CommandKind.PRE, CommandKind.RD, CommandKind.WR):
+            assert chip.execute(DramCommand(kind, bank=0)) == []
+        assert chip.commands_processed == 3
+
+
+class TestModeRegisters:
+    def test_mrr_flag_follows_scheme(self):
+        chip = _mithril_chip(adaptive_th=10, plus=True)
+        # cold table: small spread -> flag clear after an ACT updates it
+        chip.execute(DramCommand(CommandKind.ACT, bank=0, row=5))
+        assert chip.mode_register_read(MR_RFM_FLAG) == 0
+        for _ in range(30):
+            chip.execute(DramCommand(CommandKind.ACT, bank=0, row=5))
+        assert chip.mode_register_read(MR_RFM_FLAG) == 1
+
+    def test_unknown_register_raises(self):
+        chip = _mithril_chip()
+        with pytest.raises(CommandError):
+            chip.mode_register_read(12345)
+
+    def test_mode_register_write(self):
+        chip = _mithril_chip()
+        chip.mode_register_write(7, 42)
+        assert chip.mode_register_read(7) == 42
+
+
+class TestChipAggregates:
+    def test_flip_count_aggregates_banks(self):
+        chip = DramChip(flip_th=4)
+        for _ in range(4):
+            chip.execute(DramCommand(CommandKind.ACT, bank=0, row=10))
+            chip.execute(DramCommand(CommandKind.ACT, bank=1, row=20))
+        assert chip.flip_count == 4  # two victims per bank
+
+    def test_max_disturbance(self):
+        chip = DramChip(flip_th=1_000)
+        for _ in range(5):
+            chip.execute(DramCommand(CommandKind.ACT, bank=2, row=50))
+        assert chip.max_disturbance == 5.0

@@ -1,0 +1,113 @@
+"""Unit tests for the RowHammer fault model."""
+
+import pytest
+
+from repro.dram.hammer import HammerModel
+
+
+class TestHammerModel:
+    def test_rejects_bad_flip_th(self):
+        with pytest.raises(ValueError):
+            HammerModel(flip_th=0)
+
+    def test_act_disturbs_both_neighbors(self):
+        model = HammerModel(flip_th=100)
+        model.on_activate(50)
+        assert model.disturbance(49) == 1.0
+        assert model.disturbance(51) == 1.0
+        assert model.disturbance(50) == 0.0
+
+    def test_edge_row_has_one_neighbor(self):
+        model = HammerModel(flip_th=100, rows_per_bank=64)
+        model.on_activate(0)
+        assert model.disturbance(1) == 1.0
+        # no row -1
+        assert model.tracked_rows == 1
+
+    def test_flip_at_threshold(self):
+        model = HammerModel(flip_th=10)
+        for _ in range(10):
+            model.on_activate(5)
+        assert model.flip_count == 2  # rows 4 and 6
+        rows = {flip.row for flip in model.flips}
+        assert rows == {4, 6}
+
+    def test_double_sided_flips_at_half(self):
+        model = HammerModel(flip_th=10)
+        for _ in range(5):
+            model.on_activate(4)
+            model.on_activate(6)
+        flips = [f for f in model.flips if f.row == 5]
+        assert flips  # victim between the two aggressors flipped
+
+    def test_refresh_resets_disturbance(self):
+        model = HammerModel(flip_th=10)
+        for _ in range(9):
+            model.on_activate(5)
+        model.on_refresh_row(4)
+        model.on_activate(5)
+        assert model.disturbance(4) == 1.0
+        assert not [f for f in model.flips if f.row == 4]
+
+    def test_refresh_range(self):
+        model = HammerModel(flip_th=100)
+        for row in (10, 20, 30):
+            model.on_activate(row)
+        model.on_refresh_range(9, 21)
+        assert model.disturbance(11) == 0.0
+        assert model.disturbance(21) == 0.0
+        assert model.disturbance(29) == 1.0
+
+    def test_refresh_large_range_filters(self):
+        model = HammerModel(flip_th=100)
+        model.on_activate(10)
+        model.on_refresh_range(0, 65535)
+        assert model.tracked_rows == 0
+
+    def test_max_disturbance_tracked(self):
+        model = HammerModel(flip_th=1000)
+        for _ in range(7):
+            model.on_activate(5)
+        assert model.max_disturbance == 7.0
+        assert model.max_disturbance_row in (4, 6)
+
+    def test_counter_restarts_after_flip(self):
+        model = HammerModel(flip_th=5)
+        for _ in range(12):
+            model.on_activate(5)
+        # 12 acts: flips at 5 and 10 on each side
+        assert model.flip_count == 4
+        assert model.disturbance(4) == 2.0
+
+
+class TestBlastRange:
+    def test_weighted_non_adjacent_disturbance(self):
+        model = HammerModel(flip_th=100, blast_weights=(1.0, 0.25))
+        model.on_activate(50)
+        assert model.disturbance(49) == 1.0
+        assert model.disturbance(48) == 0.25
+        assert model.disturbance(47) == 0.0
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            HammerModel(flip_th=10, blast_weights=())
+
+    def test_aggregated_effect_flips_earlier(self):
+        narrow = HammerModel(flip_th=100, blast_weights=(1.0,))
+        wide = HammerModel(flip_th=100, blast_weights=(1.0, 0.5))
+        # hammer rows 48 and 52: victim 50 accumulates only via range-2
+        for _ in range(120):
+            narrow.on_activate(48)
+            narrow.on_activate(52)
+            wide.on_activate(48)
+            wide.on_activate(52)
+        assert not [f for f in narrow.flips if f.row == 50]
+        assert [f for f in wide.flips if f.row == 50]
+
+    def test_snapshot_top(self):
+        model = HammerModel(flip_th=1000)
+        for _ in range(3):
+            model.on_activate(10)
+        model.on_activate(20)
+        top = model.snapshot_top(2)
+        assert top[0][1] == 3.0

@@ -1,0 +1,61 @@
+"""Unit tests for the auto-refresh engine."""
+
+import pytest
+
+from repro.dram.refresh import AutoRefreshEngine
+from repro.params import DramOrganization, DramTimings
+
+
+class TestAutoRefreshEngine:
+    def test_no_tick_before_first_trefi(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        assert not engine.due(engine.trefi_cycles - 1)
+        assert engine.pop_tick(engine.trefi_cycles - 1) is None
+
+    def test_first_tick_at_trefi(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        tick = engine.pop_tick(engine.trefi_cycles)
+        assert tick is not None
+        tick_cycle, first_row, last_row = tick
+        assert tick_cycle == engine.trefi_cycles
+        assert first_row == 0
+        assert last_row == organization.rows_per_refresh_group - 1
+
+    def test_groups_advance_in_order(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        rows_per_group = organization.rows_per_refresh_group
+        t = engine.trefi_cycles
+        for group in range(5):
+            _, first_row, _ = engine.pop_tick(t)
+            assert first_row == group * rows_per_group
+            t += engine.trefi_cycles
+
+    def test_pending_ticks_counts_backlog(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        cycle = engine.trefi_cycles * 5
+        assert engine.pending_ticks(cycle) == 5
+
+    def test_drain_due_consumes_all(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        ticks = engine.drain_due(engine.trefi_cycles * 3)
+        assert len(ticks) == 3
+        assert engine.pending_ticks(engine.trefi_cycles * 3) == 0
+
+    def test_full_window_covers_every_row(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        covered = set()
+        t = engine.trefi_cycles
+        for _ in range(organization.refresh_groups):
+            _, first_row, last_row = engine.pop_tick(t)
+            covered.update(range(first_row, last_row + 1))
+            t += engine.trefi_cycles
+        assert len(covered) == organization.rows_per_bank
+
+    def test_group_cursor_wraps(self, timings, organization):
+        engine = AutoRefreshEngine(timings, organization)
+        t = engine.trefi_cycles
+        for _ in range(organization.refresh_groups):
+            engine.pop_tick(t)
+            t += engine.trefi_cycles
+        _, first_row, _ = engine.pop_tick(t)
+        assert first_row == 0  # wrapped around

@@ -1,0 +1,61 @@
+"""Unit tests for the adversary fuzzer."""
+
+import pytest
+
+from repro.protection import NoProtection
+from repro.verify.fuzzer import FuzzPattern, fuzz_scheme, worst_case
+
+
+class TestFuzzPattern:
+    def test_round_robin_covers_rows(self):
+        pattern = FuzzPattern(
+            "p", rows=(1, 2, 3), schedule="round-robin"
+        )
+        assert list(pattern.stream(6)) == [1, 2, 3, 1, 2, 3]
+
+    def test_bursts_respect_length(self):
+        pattern = FuzzPattern(
+            "p", rows=(7, 9), schedule="bursts", burst_length=3
+        )
+        assert list(pattern.stream(8)) == [7, 7, 7, 9, 9, 9, 7, 7]
+
+    def test_weighted_is_reproducible(self):
+        pattern = FuzzPattern(
+            "p", rows=(1, 2), schedule="weighted", weights=(0.9, 0.1)
+        )
+        assert list(pattern.stream(20)) == list(pattern.stream(20))
+
+    def test_unknown_schedule_raises(self):
+        pattern = FuzzPattern("p", rows=(1,), schedule="chaos")
+        with pytest.raises(ValueError):
+            list(pattern.stream(1))
+
+
+class TestFuzzScheme:
+    def test_results_sorted_by_disturbance(self):
+        results = fuzz_scheme(
+            NoProtection, flip_th=100_000, rfm_th=0,
+            iterations=5, acts_per_pattern=2_000,
+        )
+        levels = [r.report.max_disturbance for r in results]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_deterministic_in_seed(self):
+        a = fuzz_scheme(NoProtection, 100_000, 0, iterations=3,
+                        acts_per_pattern=1_000, seed=5)
+        b = fuzz_scheme(NoProtection, 100_000, 0, iterations=3,
+                        acts_per_pattern=1_000, seed=5)
+        assert [r.pattern for r in a] == [r.pattern for r in b]
+
+    def test_worst_case(self):
+        results = fuzz_scheme(NoProtection, 100_000, 0, iterations=3,
+                              acts_per_pattern=1_000)
+        assert worst_case(results) is results[0]
+        with pytest.raises(ValueError):
+            worst_case([])
+
+    def test_disturbance_ratio(self):
+        results = fuzz_scheme(NoProtection, 1_000, 0, iterations=2,
+                              acts_per_pattern=4_000)
+        for result in results:
+            assert result.disturbance_ratio >= 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for Graphene (ARR) and RFM-Graphene (the strawman)."""
+
+import pytest
+
+from repro.mitigations.graphene import GrapheneScheme, graphene_entries
+from repro.mitigations.rfm_graphene import (
+    RfmGrapheneScheme,
+    arr_graphene_safe_flip_th,
+    rfm_graphene_best_safe_flip_th,
+    rfm_graphene_safe_flip_th,
+)
+
+
+class TestGrapheneEntries:
+    def test_entries_scale_inversely_with_flip_th(self):
+        assert graphene_entries(1_500) > graphene_entries(50_000)
+
+    def test_entries_positive(self):
+        assert graphene_entries(100_000) >= 1
+
+
+class TestGrapheneScheme:
+    def test_arr_at_threshold(self):
+        scheme = GrapheneScheme(flip_th=40)  # threshold = 10
+        victims = []
+        for i in range(10):
+            victims = scheme.on_activate(7, cycle=i)
+        assert sorted(victims) == [6, 8]
+
+    def test_arr_repeats_at_multiples(self):
+        scheme = GrapheneScheme(flip_th=40)
+        arr_count = 0
+        for i in range(35):
+            if scheme.on_activate(7, cycle=i):
+                arr_count += 1
+        assert arr_count == 3  # at counts 10, 20, 30
+
+    def test_table_reset_clears_state(self):
+        scheme = GrapheneScheme(flip_th=40, reset_interval_cycles=1000)
+        for i in range(9):
+            scheme.on_activate(7, cycle=i)
+        # cross the reset boundary: counter starts over
+        assert scheme.on_activate(7, cycle=2000) == []
+        assert scheme.resets == 1
+        assert scheme.table.estimate(7) == 1
+
+    def test_cold_rows_never_trigger(self):
+        scheme = GrapheneScheme(flip_th=40_000)
+        for i in range(100):
+            assert scheme.on_activate(i * 7, cycle=i) == []
+
+    def test_edge_row_clipped(self):
+        scheme = GrapheneScheme(flip_th=40, rows_per_bank=8)
+        victims = []
+        for i in range(10):
+            victims = scheme.on_activate(0, cycle=i)
+        assert victims == [1]
+
+
+class TestFig2Analysis:
+    def test_arr_linear_in_threshold(self):
+        assert arr_graphene_safe_flip_th(2_000) == 8_000
+        assert arr_graphene_safe_flip_th(4_000) == 16_000
+
+    def test_rfm_version_floors_out(self):
+        """Figure 2: lowering the threshold stops helping."""
+        high = rfm_graphene_safe_flip_th(4_000, rfm_th=64)
+        low = rfm_graphene_safe_flip_th(250, rfm_th=64)
+        floor = rfm_graphene_best_safe_flip_th(rfm_th=64)
+        assert floor <= high
+        assert floor <= low
+        # ARR-Graphene at threshold 250 protects 1K; RFM-Graphene cannot
+        # protect anything below its floor (~tens of K).
+        assert arr_graphene_safe_flip_th(250) == 1_000
+        assert floor > 10_000
+
+    def test_paper_example_scale(self):
+        """Threshold 2K @ RFM_TH 64 -> ~20K safe FlipTH (Section III-A)."""
+        value = rfm_graphene_safe_flip_th(2_000, rfm_th=64)
+        assert 15_000 < value < 50_000
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rfm_graphene_safe_flip_th(0, 64)
+        with pytest.raises(ValueError):
+            arr_graphene_safe_flip_th(-1)
+
+
+class TestRfmGrapheneScheme:
+    def test_threshold_crossing_buffers_not_refreshes(self):
+        scheme = RfmGrapheneScheme(threshold=5, n_entries=8)
+        for i in range(6):
+            assert scheme.on_activate(10, cycle=i) == []
+        assert len(scheme._pending) == 1
+
+    def test_rfm_pops_one_buffered_row(self):
+        scheme = RfmGrapheneScheme(threshold=5, n_entries=8)
+        for row in (10, 20):
+            for _ in range(6):
+                scheme.on_activate(row, 0)
+        victims = scheme.on_rfm(0)
+        assert sorted(victims) == [9, 11]  # FIFO: row 10 first
+        victims = scheme.on_rfm(0)
+        assert sorted(victims) == [19, 21]
+
+    def test_queue_depth_tracks_concentration(self):
+        scheme = RfmGrapheneScheme(threshold=3, n_entries=32)
+        for row in range(8):
+            for _ in range(3):
+                scheme.on_activate(row * 2, 0)
+        assert scheme.max_queue_depth == 8
+
+    def test_rfm_on_empty_queue(self):
+        scheme = RfmGrapheneScheme(threshold=5)
+        assert scheme.on_rfm(0) == []
+
+    def test_row_not_double_queued(self):
+        scheme = RfmGrapheneScheme(threshold=3, n_entries=8)
+        for _ in range(5):
+            scheme.on_activate(10, 0)
+        assert len(scheme._pending) == 1

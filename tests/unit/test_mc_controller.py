@@ -1,0 +1,130 @@
+"""Unit tests for the per-bank controller (the MC-DRAM cooperation)."""
+
+import pytest
+
+from repro.core.mithril import MithrilScheme
+from repro.mc.controller import BankController
+from repro.mitigations.graphene import GrapheneScheme
+from repro.params import SystemConfig
+from repro.types import BankAddress, MemoryRequest, RowAddress
+
+
+def _request(row: int, arrival: int = 0, write: bool = False) -> MemoryRequest:
+    return MemoryRequest(
+        core=0, arrival_cycle=arrival,
+        address=RowAddress(BankAddress(0, 0, 0), row), is_write=write,
+    )
+
+
+@pytest.fixture
+def config():
+    return SystemConfig().with_organization(channels=1, banks_per_rank=8)
+
+
+class TestBasicServing:
+    def test_serve_sets_completion(self, config):
+        controller = BankController(config)
+        request = _request(10)
+        result = controller.serve(request, cycle=0)
+        assert request.completion_cycle == result.data_cycle
+
+    def test_energy_counts_reads_writes(self, config):
+        controller = BankController(config)
+        controller.serve(_request(10), 0)
+        controller.serve(_request(11, write=True), controller.bank.ready_cycle)
+        assert controller.energy.reads == 1
+        assert controller.energy.writes == 1
+        assert controller.energy.acts == 2
+
+    def test_hammer_tracks_activations(self, config):
+        controller = BankController(config, flip_th=1000)
+        controller.serve(_request(10), 0)
+        assert controller.hammer.disturbance(9) == 1.0
+
+    def test_track_hammer_disabled(self, config):
+        controller = BankController(config, track_hammer=False)
+        controller.serve(_request(10), 0)
+        assert controller.hammer is None
+        assert controller.flip_count == 0
+
+
+class TestAutoRefreshIntegration:
+    def test_refresh_applied_lazily(self, config):
+        controller = BankController(config)
+        trefi = controller.refresh.trefi_cycles
+        controller.serve(_request(10), trefi * 3)
+        assert controller.energy.auto_refreshes == 3
+        assert controller.refresh_stall_cycles > 0
+
+    def test_refresh_clears_hammer_rows(self, config):
+        controller = BankController(config, flip_th=1000)
+        controller.serve(_request(1), 0)  # disturbs rows 0 and 2
+        trefi = controller.refresh.trefi_cycles
+        # first refresh tick covers group 0 = rows 0..7
+        controller.serve(_request(100), trefi)
+        assert controller.hammer.disturbance(0) == 0.0
+        assert controller.hammer.disturbance(2) == 0.0
+
+
+class TestRfmIntegration:
+    def test_rfm_issued_at_threshold(self, config):
+        controller = BankController(
+            config,
+            scheme=MithrilScheme(n_entries=8, rfm_th=4),
+            rfm_th=4,
+        )
+        cycle = 0
+        for i in range(8):
+            controller.serve(_request(i * 2), cycle)
+            cycle = controller.bank.ready_cycle
+        assert controller.rfm_logic.rfm_issued == 2
+        assert controller.energy.rfm_commands == 2
+        assert controller.rfm_stall_cycles > 0
+
+    def test_rfm_refreshes_victims_in_hammer(self, config):
+        controller = BankController(
+            config,
+            scheme=MithrilScheme(n_entries=8, rfm_th=4),
+            rfm_th=4,
+            flip_th=1000,
+        )
+        cycle = 0
+        # hammer row 100 hard: it will be the greedy selection
+        for row in (100, 102, 100, 104):
+            controller.serve(_request(row), cycle)
+            cycle = controller.bank.ready_cycle
+        assert controller.hammer.disturbance(101) == 0.0
+
+    def test_no_rfm_logic_for_non_rfm_scheme(self, config):
+        controller = BankController(
+            config, scheme=GrapheneScheme(flip_th=1000), rfm_th=64
+        )
+        assert controller.rfm_logic is None
+
+
+class TestArrIntegration:
+    def test_graphene_arr_stalls_bank(self, config):
+        scheme = GrapheneScheme(flip_th=64)  # threshold = 16
+        controller = BankController(config, scheme=scheme, flip_th=1000)
+        cycle = 0
+        for i in range(40):
+            # alternate rows to force ACTs on row 10
+            controller.serve(_request(10 if i % 2 == 0 else 50), cycle)
+            cycle = controller.bank.ready_cycle
+        assert scheme.stats.arr_requests > 0
+        assert controller.arr_stall_cycles > 0
+        assert controller.energy.preventive_refresh_rows > 0
+
+
+class TestThrottleRelease:
+    def test_row_hit_not_throttled(self, config):
+        from repro.mitigations.blockhammer import BlockHammerScheme
+
+        scheme = BlockHammerScheme(flip_th=1500, n_bl=4, cbf_size=64)
+        controller = BankController(config, scheme=scheme)
+        controller.serve(_request(10), 0)
+        # open row is 10 (minimalist-open keeps for queued same-row; queue
+        # empty so policy may close it; force check via scheme directly)
+        release = controller.throttle_release(_request(10), cycle=100)
+        if controller.bank.open_row == 10:
+            assert release == 100

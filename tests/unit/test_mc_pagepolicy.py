@@ -1,0 +1,51 @@
+"""Unit tests for the page policies."""
+
+import pytest
+
+from repro.mc.pagepolicy import (
+    ClosedPagePolicy,
+    MinimalistOpenPolicy,
+    OpenPagePolicy,
+    make_page_policy,
+)
+from repro.types import BankAddress, MemoryRequest, RowAddress
+
+
+def _request(row: int) -> MemoryRequest:
+    return MemoryRequest(
+        core=0, arrival_cycle=0,
+        address=RowAddress(BankAddress(0, 0, 0), row),
+    )
+
+
+class TestPolicies:
+    def test_open_never_closes(self):
+        policy = OpenPagePolicy()
+        assert not policy.should_close(5, 100, [])
+
+    def test_closed_always_closes(self):
+        policy = ClosedPagePolicy()
+        assert policy.should_close(5, 0, [_request(5)])
+
+    def test_minimalist_closes_after_burst(self):
+        policy = MinimalistOpenPolicy(burst_limit=4)
+        queue = [_request(5)]
+        assert not policy.should_close(5, 3, queue)
+        assert policy.should_close(5, 4, queue)
+
+    def test_minimalist_closes_without_pending_same_row(self):
+        policy = MinimalistOpenPolicy()
+        assert policy.should_close(5, 0, [_request(9)])
+
+    def test_minimalist_keeps_open_for_pending_same_row(self):
+        policy = MinimalistOpenPolicy()
+        assert not policy.should_close(5, 1, [_request(5), _request(9)])
+
+    def test_factory(self):
+        assert isinstance(make_page_policy("open"), OpenPagePolicy)
+        assert isinstance(make_page_policy("closed"), ClosedPagePolicy)
+        assert isinstance(
+            make_page_policy("minimalist-open"), MinimalistOpenPolicy
+        )
+        with pytest.raises(ValueError):
+            make_page_policy("bogus")

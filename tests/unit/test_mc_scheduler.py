@@ -1,0 +1,95 @@
+"""Unit tests for FR-FCFS and BLISS schedulers."""
+
+import pytest
+
+from repro.mc.scheduler import BlissScheduler, FrFcfsScheduler, make_scheduler
+from repro.types import BankAddress, MemoryRequest, RowAddress
+
+
+def _request(core: int, arrival: int, row: int) -> MemoryRequest:
+    return MemoryRequest(
+        core=core,
+        arrival_cycle=arrival,
+        address=RowAddress(BankAddress(0, 0, 0), row),
+    )
+
+
+def _no_throttle(request):
+    return 0
+
+
+class TestFrFcfs:
+    def test_prefers_row_hit(self):
+        scheduler = FrFcfsScheduler()
+        queue = [_request(0, 0, 10), _request(1, 5, 20)]
+        index = scheduler.pick(queue, open_row=20, cycle=100,
+                               release_of=_no_throttle)
+        assert index == 1
+
+    def test_oldest_first_without_hits(self):
+        scheduler = FrFcfsScheduler()
+        queue = [_request(0, 50, 10), _request(1, 5, 20)]
+        index = scheduler.pick(queue, open_row=None, cycle=100,
+                               release_of=_no_throttle)
+        assert index == 1
+
+    def test_released_requests_beat_throttled(self):
+        scheduler = FrFcfsScheduler()
+        queue = [_request(0, 0, 10), _request(1, 5, 20)]
+
+        def release(request):
+            return 10_000 if request.address.row == 10 else 0
+
+        index = scheduler.pick(queue, open_row=10, cycle=100,
+                               release_of=release)
+        assert index == 1  # row hit loses to throttle release
+
+    def test_empty_queue(self):
+        scheduler = FrFcfsScheduler()
+        assert scheduler.pick([], None, 0, _no_throttle) is None
+
+
+class TestBliss:
+    def test_blacklists_after_streak(self):
+        scheduler = BlissScheduler(blacklist_threshold=4)
+        for _ in range(4):
+            scheduler.on_served(core=7, cycle=100)
+        assert scheduler._blacklisted(7, 101)
+
+    def test_blacklist_expires(self):
+        scheduler = BlissScheduler(blacklist_threshold=2, blacklist_cycles=50)
+        scheduler.on_served(0, 10)
+        scheduler.on_served(0, 10)
+        assert scheduler._blacklisted(0, 20)
+        assert not scheduler._blacklisted(0, 100)
+
+    def test_alternating_cores_never_blacklisted(self):
+        scheduler = BlissScheduler(blacklist_threshold=4)
+        for i in range(20):
+            scheduler.on_served(core=i % 2, cycle=i)
+        assert not scheduler._blacklisted(0, 100)
+        assert not scheduler._blacklisted(1, 100)
+
+    def test_deprioritizes_blacklisted_core(self):
+        scheduler = BlissScheduler(blacklist_threshold=1,
+                                   blacklist_cycles=1000)
+        scheduler.on_served(core=0, cycle=0)
+        queue = [_request(0, 0, 10), _request(1, 50, 20)]
+        index = scheduler.pick(queue, open_row=10, cycle=100,
+                               release_of=_no_throttle)
+        assert index == 1  # core 0 is blacklisted despite row hit + age
+
+    def test_blacklisted_still_served_when_alone(self):
+        scheduler = BlissScheduler(blacklist_threshold=1,
+                                   blacklist_cycles=1000)
+        scheduler.on_served(core=0, cycle=0)
+        queue = [_request(0, 0, 10)]
+        assert scheduler.pick(queue, None, 100, _no_throttle) == 0
+
+
+class TestFactory:
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("bliss"), BlissScheduler)
+        assert isinstance(make_scheduler("frfcfs"), FrFcfsScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("magic")

@@ -1,0 +1,62 @@
+"""Unit tests for PARA."""
+
+import pytest
+
+from repro.mitigations.para import ParaScheme, para_probability
+
+
+class TestParaProbability:
+    def test_probability_in_range(self):
+        for flip_th in (1_500, 6_250, 50_000):
+            p = para_probability(flip_th)
+            assert 0.0 < p <= 1.0
+
+    def test_lower_flip_th_needs_higher_probability(self):
+        assert para_probability(1_500) > para_probability(50_000)
+
+    def test_meets_failure_target(self):
+        flip_th, target = 6_250, 1e-15
+        p = para_probability(flip_th, target)
+        survival = (1 - p / 2) ** (flip_th / 2)
+        assert survival <= target * 1.01
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            para_probability(0)
+        with pytest.raises(ValueError):
+            para_probability(1000, target_failure=2.0)
+
+
+class TestParaScheme:
+    def test_refresh_rate_matches_probability(self):
+        scheme = ParaScheme(probability=0.25, seed=1)
+        refreshes = sum(bool(scheme.on_activate(100, 0)) for _ in range(4000))
+        assert 800 < refreshes < 1200  # ~1000 expected
+
+    def test_zero_probability_never_refreshes(self):
+        scheme = ParaScheme(probability=0.0)
+        assert all(not scheme.on_activate(5, 0) for _ in range(100))
+
+    def test_victim_is_adjacent(self):
+        scheme = ParaScheme(probability=1.0, seed=2)
+        victims = scheme.on_activate(100, 0)
+        assert victims and victims[0] in (99, 101)
+
+    def test_edge_row_reflects_inward(self):
+        scheme = ParaScheme(probability=1.0, rows_per_bank=64, seed=3)
+        for _ in range(20):
+            victims = scheme.on_activate(0, 0)
+            assert victims == [1]
+
+    def test_deterministic_with_seed(self):
+        a = ParaScheme(probability=0.5, seed=7)
+        b = ParaScheme(probability=0.5, seed=7)
+        seq_a = [tuple(a.on_activate(i, 0)) for i in range(50)]
+        seq_b = [tuple(b.on_activate(i, 0)) for i in range(50)]
+        assert seq_a == seq_b
+
+    def test_stats_track_refreshes(self):
+        scheme = ParaScheme(probability=1.0)
+        scheme.on_activate(10, 0)
+        assert scheme.stats.preventive_refresh_rows == 1
+        assert scheme.stats.acts_observed == 1

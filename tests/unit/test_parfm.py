@@ -1,0 +1,57 @@
+"""Unit tests for PARFM."""
+
+import pytest
+
+from repro.mitigations.parfm import ParfmScheme
+
+
+class TestParfmScheme:
+    def test_no_arr_on_activate(self):
+        scheme = ParfmScheme()
+        assert scheme.on_activate(5, 0) == []
+
+    def test_rfm_refreshes_sample_victims(self):
+        scheme = ParfmScheme(seed=1)
+        scheme.on_activate(100, 0)
+        victims = scheme.on_rfm(0)
+        assert sorted(victims) == [99, 101]
+
+    def test_rfm_with_no_acts_is_noop(self):
+        scheme = ParfmScheme()
+        assert scheme.on_rfm(0) == []
+
+    def test_sample_resets_each_interval(self):
+        scheme = ParfmScheme(seed=2)
+        scheme.on_activate(100, 0)
+        scheme.on_rfm(0)
+        assert scheme.on_rfm(1) == []  # nothing sampled since
+
+    def test_sample_is_uniform_over_interval(self):
+        """Reservoir sampling: each of the R rows in an interval is
+        selected with probability ~1/R."""
+        import collections
+
+        counts = collections.Counter()
+        scheme = ParfmScheme(seed=3)
+        rows = [10, 20, 30, 40]
+        for _ in range(2000):
+            for row in rows:
+                scheme.on_activate(row, 0)
+            victims = scheme.on_rfm(0)
+            aggressor = victims[0] + 1
+            counts[aggressor] += 1
+        for row in rows:
+            assert 350 < counts[row] < 650  # ~500 each
+
+    def test_blast_radius(self):
+        scheme = ParfmScheme(blast_radius=2, seed=4)
+        scheme.on_activate(100, 0)
+        assert sorted(scheme.on_rfm(0)) == [98, 99, 101, 102]
+
+    def test_edge_clipping(self):
+        scheme = ParfmScheme(rows_per_bank=64, seed=5)
+        scheme.on_activate(0, 0)
+        assert scheme.on_rfm(0) == [1]
+
+    def test_uses_rfm_flag(self):
+        assert ParfmScheme.uses_rfm

@@ -1,0 +1,58 @@
+"""Unit tests for the scheme registry and base protocol."""
+
+import pytest
+
+from repro.core.mithril import MithrilScheme
+from repro.protection import (
+    NoProtection,
+    ProtectionScheme,
+    build_scheme,
+    register_scheme,
+    scheme_names,
+)
+
+
+class TestRegistry:
+    def test_all_paper_schemes_registered(self):
+        names = scheme_names()
+        for expected in (
+            "mithril", "mithril+", "para", "parfm", "graphene",
+            "rfm-graphene", "twice", "cbt", "blockhammer", "none",
+        ):
+            assert expected in names
+
+    def test_build_scheme_with_kwargs(self):
+        scheme = build_scheme("mithril", n_entries=32, rfm_th=16)
+        assert isinstance(scheme, MithrilScheme)
+        assert scheme.table.n_entries == 32
+
+    def test_unknown_scheme_raises_with_hint(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            build_scheme("shield-o-matic")
+
+    def test_register_decorator(self):
+        @register_scheme("test-dummy")
+        class Dummy(NoProtection):
+            pass
+
+        assert "test-dummy" in scheme_names()
+        assert isinstance(build_scheme("test-dummy"), Dummy)
+
+
+class TestBaseDefaults:
+    def test_no_protection_does_nothing(self):
+        scheme = NoProtection()
+        assert scheme.on_activate(5, 0) == []
+        assert scheme.on_rfm(0) == []
+        assert scheme.rfm_needed_flag()
+        assert scheme.throttle_release(5, 42) == 42
+        assert scheme.table_entries() == 0
+
+    def test_stats_initialized(self):
+        scheme = NoProtection()
+        assert scheme.stats.acts_observed == 0
+        scheme.on_activate(1, 0)
+        assert scheme.stats.acts_observed == 1
+
+    def test_name_property(self):
+        assert NoProtection().name == "NoProtection"

@@ -1,0 +1,98 @@
+"""Unit tests for the DDR5 RAA specification state (JESD79-5)."""
+
+import pytest
+
+from repro.mc.refresh_management import (
+    Ddr5RaaState,
+    Ddr5RfmPolicy,
+    RfmAction,
+)
+
+
+class TestDdr5RaaState:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Ddr5RaaState(raaimt=0)
+        with pytest.raises(ValueError):
+            Ddr5RaaState(raaimt=16, raammt_multiplier=0)
+
+    def test_default_refresh_credit_is_half_raaimt(self):
+        raa = Ddr5RaaState(raaimt=32)
+        assert raa.raa_refresh_decrement == 16
+
+    def test_rfm_due_at_raaimt(self):
+        raa = Ddr5RaaState(raaimt=4)
+        actions = [raa.on_activate() for _ in range(4)]
+        assert actions[:3] == [RfmAction.NONE] * 3
+        assert actions[3] == RfmAction.RFM_DUE
+
+    def test_act_blocked_at_raammt(self):
+        raa = Ddr5RaaState(raaimt=4, raammt_multiplier=2)
+        for _ in range(8):
+            raa.on_activate()
+        assert not raa.can_activate()
+        assert raa.on_activate() == RfmAction.ACT_BLOCKED
+        assert raa.acts_blocked == 1
+        assert raa.value == 8  # blocked ACT does not count
+
+    def test_rfm_pays_down_one_raaimt(self):
+        raa = Ddr5RaaState(raaimt=4)
+        for _ in range(6):
+            raa.on_activate()
+        raa.on_rfm()
+        assert raa.value == 2
+        assert raa.rfm_issued == 1
+
+    def test_refresh_credit(self):
+        raa = Ddr5RaaState(raaimt=8, raa_refresh_decrement=3)
+        for _ in range(5):
+            raa.on_activate()
+        raa.on_refresh()
+        assert raa.value == 2
+
+    def test_counters_never_negative(self):
+        raa = Ddr5RaaState(raaimt=8)
+        raa.on_refresh()
+        raa.on_rfm()
+        assert raa.value == 0
+
+
+class TestDdr5RfmPolicy:
+    def test_eager_policy_matches_paper_model(self):
+        """With lazy_slots=0 the RFM rate is exactly one per RAAIMT."""
+        policy = Ddr5RfmPolicy(Ddr5RaaState(raaimt=8))
+        fired = sum(policy.on_activate() for _ in range(64))
+        assert fired == 8
+
+    def test_lazy_policy_defers_but_never_skips(self):
+        policy = Ddr5RfmPolicy(Ddr5RaaState(raaimt=8), lazy_slots=3)
+        fired = [policy.on_activate() for _ in range(16)]
+        # reaches RAAIMT at ACT index 7, then burns 3 lazy slots
+        assert fired.index(True) == 10
+        assert sum(fired) >= 1
+
+    def test_raammt_forces_immediate_rfm(self):
+        raa = Ddr5RaaState(raaimt=4, raammt_multiplier=1)
+        policy = Ddr5RfmPolicy(raa, lazy_slots=100)
+        fired = [policy.on_activate() for _ in range(8)]
+        assert any(fired[:5])  # forced long before the lazy window ends
+
+    def test_refresh_can_cancel_pending_rfm(self):
+        raa = Ddr5RaaState(raaimt=8, raa_refresh_decrement=8)
+        policy = Ddr5RfmPolicy(raa, lazy_slots=10)
+        for _ in range(8):
+            policy.on_activate()
+        policy.on_refresh()  # credit brings RAA below RAAIMT
+        assert raa.value == 0
+        assert not policy._rfm_pending
+
+    def test_long_run_rfm_rate_bounded(self):
+        """Over any long ACT run, RAA stays below RAAMMT and the RFM
+        count is within one of acts/RAAIMT."""
+        raa = Ddr5RaaState(raaimt=16, raammt_multiplier=2)
+        policy = Ddr5RfmPolicy(raa, lazy_slots=5)
+        acts = 1000
+        for _ in range(acts):
+            policy.on_activate()
+            assert raa.value <= raa.raammt
+        assert abs(raa.rfm_issued - acts // 16) <= 2

@@ -1,0 +1,44 @@
+"""Unit tests for the timing-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    act_rate_sensitivity,
+    refresh_window_sensitivity,
+    rfm_window_sensitivity,
+    sweep_parameter,
+    table_size_kb,
+)
+from repro.params import DramTimings
+
+
+class TestSensitivity:
+    def test_longer_refresh_window_needs_bigger_table(self):
+        """tREFW 64ms doubles the ACT budget per window: more entries."""
+        rows = refresh_window_sensitivity()
+        by_window = {row["value"]: row["n_entries"] for row in rows}
+        assert by_window[16e6] < by_window[32e6] < by_window[64e6]
+
+    def test_shorter_trfm_slightly_raises_w(self):
+        rows = rfm_window_sensitivity()
+        sizes = [row["n_entries"] for row in rows]
+        # shorter tRFM -> more intervals fit -> weakly more entries
+        assert sizes[0] >= sizes[2] - 1
+
+    def test_faster_trc_needs_bigger_table(self):
+        rows = act_rate_sensitivity()
+        by_trc = {round(row["value"], 2): row["n_entries"] for row in rows}
+        values = sorted(by_trc)
+        assert by_trc[values[0]] >= by_trc[values[-1]]
+
+    def test_sweep_rows_well_formed(self):
+        rows = sweep_parameter("trefw", [32e6])
+        assert rows[0]["table_kb"] is not None
+        assert rows[0]["parameter"] == "trefw"
+
+    def test_table_size_none_when_infeasible(self):
+        assert table_size_kb(1_500, 256, DramTimings()) is None
+
+    def test_default_matches_paper_config(self):
+        kb = table_size_kb(6_250, 128, DramTimings())
+        assert 0.5 < kb < 1.2

@@ -1,0 +1,68 @@
+"""Unit tests for simulation metrics."""
+
+import pytest
+
+from repro.sim.metrics import SimulationResult
+from repro.types import EnergyCounts
+
+
+def _result(instructions, finishes, **kwargs):
+    defaults = dict(
+        scheme_name="s",
+        total_cycles=max(finishes) if finishes else 0,
+        per_core_instructions=instructions,
+        per_core_finish_cycles=finishes,
+        energy=EnergyCounts(),
+    )
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_aggregate_ipc_sums_cores(self):
+        result = _result([100, 200], [100, 100])
+        assert result.aggregate_ipc == pytest.approx(3.0)
+
+    def test_zero_finish_core_skipped(self):
+        result = _result([100, 50], [100, 0])
+        assert result.aggregate_ipc == pytest.approx(1.0)
+
+    def test_relative_performance(self):
+        base = _result([100], [100])      # IPC 1.0
+        slow = _result([100], [125])      # IPC 0.8
+        assert slow.relative_performance(base) == pytest.approx(80.0)
+
+    def test_relative_performance_zero_baseline(self):
+        base = _result([0], [0])
+        other = _result([10], [10])
+        assert other.relative_performance(base) == 0.0
+
+    def test_row_hit_rate(self):
+        result = _result([1], [1], row_hits=30, row_misses=70)
+        assert result.row_hit_rate == pytest.approx(0.3)
+
+    def test_row_hit_rate_no_accesses(self):
+        assert _result([1], [1]).row_hit_rate == 0.0
+
+    def test_summary_keys(self):
+        summary = _result([1], [1]).summary()
+        for key in ("scheme", "aggregate_ipc", "flips", "rfm_commands"):
+            assert key in summary
+
+
+class TestEnergyCounts:
+    def test_merged_adds_fields(self):
+        a = EnergyCounts(acts=1, reads=2, preventive_refresh_rows=3)
+        b = EnergyCounts(acts=10, writes=5, rfm_commands=7)
+        merged = a.merged(b)
+        assert merged.acts == 11
+        assert merged.reads == 2
+        assert merged.writes == 5
+        assert merged.preventive_refresh_rows == 3
+        assert merged.rfm_commands == 7
+
+    def test_merged_does_not_mutate(self):
+        a = EnergyCounts(acts=1)
+        b = EnergyCounts(acts=2)
+        a.merged(b)
+        assert a.acts == 1 and b.acts == 2

@@ -1,0 +1,59 @@
+"""Unit tests for the Count-Min sketch."""
+
+import pytest
+
+from repro.streaming.count_min import CountMinSketch
+
+
+class TestCountMinSketch:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=8, depth=0)
+
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=32, depth=4)
+        truth = {}
+        for i in range(300):
+            element = f"e{i % 40}"
+            sketch.observe(element)
+            truth[element] = truth.get(element, 0) + 1
+        for element, count in truth.items():
+            assert sketch.estimate(element) >= count
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=4096, depth=4)
+        sketch.observe("a", 5)
+        sketch.observe("b", 3)
+        assert sketch.estimate("a") == 5
+        assert sketch.estimate("b") == 3
+
+    def test_unseen_element_zero_in_empty_sketch(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        assert sketch.estimate("ghost") == 0
+
+    def test_total_observed(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        sketch.observe("a", 4)
+        sketch.observe("b", 6)
+        assert sketch.total_observed == 10
+
+    def test_rejects_non_positive_count(self):
+        sketch = CountMinSketch(width=8)
+        with pytest.raises(ValueError):
+            sketch.observe("a", -1)
+
+    def test_reset(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        sketch.observe("a", 9)
+        sketch.reset()
+        assert sketch.estimate("a") == 0
+        assert sketch.total_observed == 0
+
+    def test_different_seeds_different_layout(self):
+        a = CountMinSketch(width=8, depth=1, seed=1)
+        b = CountMinSketch(width=8, depth=1, seed=999)
+        layouts_a = [a._index(f"k{i}", 0) for i in range(50)]
+        layouts_b = [b._index(f"k{i}", 0) for i in range(50)]
+        assert layouts_a != layouts_b

@@ -1,0 +1,78 @@
+"""Unit tests for the Lossy Counting algorithm."""
+
+import pytest
+
+from repro.streaming.lossy_counting import LossyCounter
+
+
+class TestLossyCounter:
+    def test_rejects_bad_epsilon(self):
+        for epsilon in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                LossyCounter(epsilon=epsilon)
+
+    def test_exact_before_first_window(self):
+        counter = LossyCounter(epsilon=0.1)  # window = 10
+        for _ in range(5):
+            counter.observe("a")
+        assert counter.raw_count("a") == 5
+        assert counter.estimate("a") == 5
+
+    def test_prunes_rare_elements(self):
+        counter = LossyCounter(epsilon=0.25)  # window = 4
+        counter.observe("rare")
+        for _ in range(3):
+            counter.observe("hot")  # completes the window, prune runs
+        assert "rare" not in counter
+        assert "hot" in counter
+
+    def test_hot_element_survives_pruning(self):
+        counter = LossyCounter(epsilon=0.1)
+        for i in range(100):
+            counter.observe("hot")
+            counter.observe(f"noise-{i}")
+        assert "hot" in counter
+        assert counter.estimate("hot") >= 100
+
+    def test_estimate_is_overestimate(self):
+        counter = LossyCounter(epsilon=0.05)
+        stream = [f"n{i % 50}" for i in range(500)] + ["hot"] * 60
+        for item in stream:
+            counter.observe(item)
+        # conservative: estimate >= actual for tracked elements
+        assert counter.estimate("hot") >= 60
+
+    def test_off_table_estimate_is_window_index(self):
+        counter = LossyCounter(epsilon=0.5)  # window = 2
+        for i in range(10):
+            counter.observe(f"x{i}")
+        assert counter.estimate("never-seen") == counter._window_index
+
+    def test_items_seen(self):
+        counter = LossyCounter(epsilon=0.1)
+        counter.observe("a", 7)
+        assert counter.items_seen == 7
+
+    def test_rejects_non_positive_count(self):
+        counter = LossyCounter(epsilon=0.1)
+        with pytest.raises(ValueError):
+            counter.observe("a", 0)
+
+    def test_entries_at_least(self):
+        counter = LossyCounter(epsilon=0.01)
+        counter.observe("a", 30)
+        counter.observe("b", 5)
+        hot = dict(counter.entries_at_least(10))
+        assert "a" in hot and "b" not in hot
+
+    def test_reset(self):
+        counter = LossyCounter(epsilon=0.1)
+        counter.observe("a", 20)
+        counter.reset()
+        assert len(counter) == 0
+        assert counter.items_seen == 0
+        assert counter.estimate("a") == 0
+
+    def test_window_size_derived_from_epsilon(self):
+        assert LossyCounter(epsilon=0.25).window_size == 4
+        assert LossyCounter(epsilon=0.001).window_size == 1000

@@ -1,0 +1,58 @@
+"""Unit tests for the estimate-growth measurement harness."""
+
+import pytest
+
+from repro.core.mithril import MithrilScheme
+from repro.verify.theorem import GrowthReport, measure_estimate_growth
+
+
+def _scheme(**kwargs) -> MithrilScheme:
+    kwargs.setdefault("n_entries", 8)
+    kwargs.setdefault("rfm_th", 4)
+    kwargs.setdefault("counter_bits", 62)
+    return MithrilScheme(**kwargs)
+
+
+class TestMeasureEstimateGrowth:
+    def test_empty_stream(self):
+        report = measure_estimate_growth(_scheme(), iter(()))
+        assert report.acts_replayed == 0
+        assert report.max_growth == 0.0
+
+    def test_single_row_growth_capped_by_demote(self):
+        """Hammering one row: every RFM demotes it, so growth within
+        a window stays around RFM_TH."""
+        report = measure_estimate_growth(
+            _scheme(), iter([7] * 400), window_acts=400
+        )
+        assert report.max_growth <= 2 * 4 + 1  # ~RFM_TH scale
+
+    def test_growth_reported_for_hot_row(self):
+        report = measure_estimate_growth(
+            _scheme(rfm_th=64), iter([5] * 50), window_acts=100
+        )
+        assert report.max_growth == 50 - 1  # estimate rose 1 -> 50
+        assert report.max_growth_row == 5
+
+    def test_max_acts_truncates(self):
+        report = measure_estimate_growth(
+            _scheme(), iter([1, 2] * 1000), max_acts=10
+        )
+        assert report.acts_replayed == 10
+
+    def test_report_properties(self):
+        report = GrowthReport(
+            n_entries=8, rfm_th=4, adaptive_th=0, window_acts=100,
+            acts_replayed=100, max_growth=5.0, max_growth_row=1,
+            theorem_bound=10.0,
+        )
+        assert report.within_bound
+        assert report.tightness == pytest.approx(0.5)
+
+    def test_zero_bound_tightness(self):
+        report = GrowthReport(
+            n_entries=8, rfm_th=4, adaptive_th=0, window_acts=1,
+            acts_replayed=0, max_growth=0.0, max_growth_row=None,
+            theorem_bound=0.0,
+        )
+        assert report.tightness == 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for command-level tracing."""
+
+import pytest
+
+from repro.core.mithril import MithrilScheme
+from repro.params import SystemConfig
+from repro.sim.system import SimulatedSystem
+from repro.sim.tracing import CommandTracer, TracedCommand, attach_tracer
+from repro.types import CommandKind
+from repro.workloads.synthetic import random_access_trace
+
+
+def _run_traced(scheme_factory=None, rfm_th=0):
+    config = SystemConfig().with_organization(channels=1, banks_per_rank=4)
+    traces = [random_access_trace(num_requests=300, num_banks=4, seed=9)]
+    system = SimulatedSystem(
+        traces, scheme_factory=scheme_factory, config=config, rfm_th=rfm_th
+    )
+    tracer = attach_tracer(system)
+    result = system.run()
+    return tracer, result
+
+
+class TestCommandTracer:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CommandTracer(capacity=0)
+
+    def test_capacity_bound(self):
+        tracer = CommandTracer(capacity=2)
+        for i in range(5):
+            tracer.record(i, 0, CommandKind.ACT, row=i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_counts_by_kind(self):
+        tracer = CommandTracer()
+        tracer.record(0, 0, CommandKind.ACT, row=1)
+        tracer.record(1, 0, CommandKind.RFM)
+        tracer.record(2, 1, CommandKind.ACT, row=2)
+        counts = tracer.counts_by_kind()
+        assert counts[CommandKind.ACT] == 2
+        assert counts[CommandKind.RFM] == 1
+
+    def test_per_bank_filter(self):
+        tracer = CommandTracer()
+        tracer.record(0, 0, CommandKind.ACT, row=1)
+        tracer.record(1, 3, CommandKind.ACT, row=2)
+        assert len(tracer.per_bank(3)) == 1
+
+    def test_ordering_check(self):
+        tracer = CommandTracer()
+        tracer.record(5, 0, CommandKind.ACT)
+        tracer.record(3, 0, CommandKind.ACT)
+        assert not tracer.verify_ordering()
+
+
+class TestAttachedTracing:
+    def test_acts_recorded_match_result(self):
+        tracer, result = _run_traced()
+        counts = tracer.counts_by_kind()
+        assert counts.get(CommandKind.ACT, 0) == result.acts
+
+    def test_rfm_cadence_matches_threshold(self):
+        rfm_th = 8
+        tracer, result = _run_traced(
+            scheme_factory=lambda: MithrilScheme(n_entries=8, rfm_th=rfm_th),
+            rfm_th=rfm_th,
+        )
+        assert result.rfm_commands > 0
+        for bank in range(4):
+            for cadence in tracer.rfm_cadence(bank):
+                assert cadence == rfm_th
+
+    def test_commands_cycle_ordered_per_bank(self):
+        tracer, _result = _run_traced()
+        assert tracer.verify_ordering()
+
+    def test_refresh_commands_recorded(self):
+        tracer, result = _run_traced()
+        counts = tracer.counts_by_kind()
+        assert counts.get(CommandKind.REF, 0) == result.energy.auto_refreshes

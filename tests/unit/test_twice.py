@@ -1,0 +1,54 @@
+"""Unit tests for TWiCe."""
+
+import pytest
+
+from repro.mitigations.twice import TwiceScheme
+from repro.params import DramTimings
+
+
+class TestTwiceScheme:
+    def test_arr_at_quarter_flip_th(self):
+        scheme = TwiceScheme(flip_th=40)  # arr threshold = 10
+        victims = []
+        for _ in range(10):
+            victims = scheme.on_activate(7, cycle=0)
+        assert sorted(victims) == [6, 8]
+
+    def test_entry_retired_after_arr(self):
+        scheme = TwiceScheme(flip_th=40)
+        for _ in range(10):
+            scheme.on_activate(7, cycle=0)
+        assert 7 not in scheme._entries
+
+    def test_pruning_drops_cold_rows(self, timings):
+        scheme = TwiceScheme(flip_th=100_000, timings=timings)
+        scheme.on_activate(5, cycle=0)
+        # after many tREFI checkpoints with no further ACTs, row 5 must
+        # fall below the pruning rate and get dropped
+        late = timings.trefi_cycles * 200
+        scheme.on_activate(99, cycle=late)
+        assert 5 not in scheme._entries
+        assert scheme.pruned >= 1
+
+    def test_hot_rows_survive_pruning(self, timings):
+        scheme = TwiceScheme(flip_th=100_000, timings=timings)
+        cycle = 0
+        for i in range(50):
+            for _ in range(20):
+                scheme.on_activate(5, cycle=cycle)
+            cycle += timings.trefi_cycles
+        assert 5 in scheme._entries
+
+    def test_max_entries_seen(self):
+        scheme = TwiceScheme(flip_th=100_000)
+        for row in range(25):
+            scheme.on_activate(row, cycle=0)
+        assert scheme.max_entries_seen == 25
+        assert scheme.table_entries() == 25
+
+    def test_edge_rows_clipped(self):
+        scheme = TwiceScheme(flip_th=40, rows_per_bank=8)
+        victims = []
+        for _ in range(10):
+            victims = scheme.on_activate(7, cycle=0)
+        assert victims == [6]

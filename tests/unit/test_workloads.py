@@ -1,0 +1,135 @@
+"""Unit tests for trace format and benign workload generators."""
+
+import pytest
+
+from repro.workloads.multithreaded import fft_like, pagerank_like, radix_like
+from repro.workloads.spec_like import mix_blend, mix_high
+from repro.workloads.synthetic import (
+    random_access_trace,
+    streaming_sweep_trace,
+    strided_trace,
+)
+from repro.workloads.trace import CoreTrace, TraceEntry, merge_as_workload
+
+
+class TestTraceFormat:
+    def test_total_instructions(self):
+        trace = CoreTrace(
+            name="t",
+            entries=[
+                TraceEntry(gap_cycles=1, bank_index=0, row=0, instructions=5),
+                TraceEntry(gap_cycles=2, bank_index=0, row=1, instructions=7),
+            ],
+        )
+        assert trace.total_instructions == 12
+
+    def test_banks_touched(self):
+        trace = CoreTrace(
+            name="t",
+            entries=[
+                TraceEntry(0, bank_index=3, row=0),
+                TraceEntry(0, bank_index=1, row=0),
+                TraceEntry(0, bank_index=3, row=1),
+            ],
+        )
+        assert trace.banks_touched() == [1, 3]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = streaming_sweep_trace(num_requests=50, seed=9)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = CoreTrace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.memory_intensive == trace.memory_intensive
+        assert loaded.entries == trace.entries
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_as_workload([])
+
+
+class TestSyntheticGenerators:
+    def test_deterministic_with_seed(self):
+        a = streaming_sweep_trace(num_requests=100, seed=5)
+        b = streaming_sweep_trace(num_requests=100, seed=5)
+        assert a.entries == b.entries
+
+    def test_different_seeds_differ(self):
+        a = random_access_trace(num_requests=100, seed=1)
+        b = random_access_trace(num_requests=100, seed=2)
+        assert a.entries != b.entries
+
+    def test_sweep_has_row_locality(self):
+        trace = streaming_sweep_trace(
+            num_requests=320, accesses_per_row=16, mean_gap=0
+        )
+        # consecutive entries mostly share (bank, row)
+        same = sum(
+            1
+            for a, b in zip(trace.entries, trace.entries[1:])
+            if (a.bank_index, a.row) == (b.bank_index, b.row)
+        )
+        assert same / len(trace.entries) > 0.8
+
+    def test_random_access_low_locality(self):
+        trace = random_access_trace(num_requests=500, footprint_rows=65536)
+        same = sum(
+            1
+            for a, b in zip(trace.entries, trace.entries[1:])
+            if (a.bank_index, a.row) == (b.bank_index, b.row)
+        )
+        assert same / len(trace.entries) < 0.05
+
+    def test_requests_within_bounds(self):
+        for trace in (
+            streaming_sweep_trace(num_requests=200, num_banks=8),
+            random_access_trace(num_requests=200, num_banks=8),
+            strided_trace(num_requests=200, num_banks=8),
+        ):
+            for entry in trace.entries:
+                assert 0 <= entry.bank_index < 8
+                assert 0 <= entry.row < 65536
+                assert entry.gap_cycles >= 0
+                assert entry.instructions >= 1
+
+    def test_rejects_bad_accesses_per_row(self):
+        with pytest.raises(ValueError):
+            streaming_sweep_trace(accesses_per_row=0)
+
+
+class TestMixes:
+    def test_mix_high_all_intensive(self):
+        traces = mix_high(num_cores=4, num_requests=50)
+        assert len(traces) == 4
+        assert all(t.memory_intensive for t in traces)
+
+    def test_mix_blend_has_both(self):
+        traces = mix_blend(num_cores=16, num_requests=50)
+        intensities = [t.memory_intensive for t in traces]
+        assert any(intensities) and not all(intensities)
+
+    def test_mix_reproducible(self):
+        a = mix_high(num_cores=4, num_requests=30, seed=3)
+        b = mix_high(num_cores=4, num_requests=30, seed=3)
+        assert [t.entries for t in a] == [t.entries for t in b]
+
+
+class TestMultithreaded:
+    def test_shapes(self):
+        for maker in (fft_like, radix_like, pagerank_like):
+            traces = maker(num_cores=4, num_requests=60, num_banks=8)
+            assert len(traces) == 4
+            assert all(len(t) == 60 for t in traces)
+
+    def test_fft_partitions_disjoint_early(self):
+        traces = fft_like(num_cores=4, num_requests=40,
+                          footprint_rows=4096, num_banks=1)
+        first_rows = {t.entries[0].row for t in traces}
+        assert len(first_rows) == 4  # each thread starts in its partition
+
+    def test_pagerank_shares_footprint(self):
+        traces = pagerank_like(num_cores=2, num_requests=400,
+                               footprint_rows=256, num_banks=1)
+        rows_a = {e.row for e in traces[0].entries}
+        rows_b = {e.row for e in traces[1].entries}
+        assert rows_a & rows_b  # overlapping hot vertices
