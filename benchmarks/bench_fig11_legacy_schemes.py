@@ -11,9 +11,12 @@ from repro.experiments import fig11
 FLIP_THS = (50_000, 12_500, 3_125, 1_500)
 
 
-def test_fig11_legacy_scheme_comparison(benchmark, save_rows, repro_scale):
+def test_fig11_legacy_scheme_comparison(
+    benchmark, save_rows, repro_scale, repro_jobs, repro_use_cache
+):
     rows = run_once(
-        benchmark, fig11.run, flip_thresholds=FLIP_THS, scale=repro_scale
+        benchmark, fig11.run, flip_thresholds=FLIP_THS, scale=repro_scale,
+        n_jobs=repro_jobs, use_cache=repro_use_cache,
     )
     save_rows("fig11", rows)
     fig11.print_rows(rows)

@@ -9,8 +9,13 @@ from benchmarks.conftest import run_once
 from repro.experiments import fig7
 
 
-def test_fig7_adaptive_refresh(benchmark, save_rows, repro_scale):
-    rows = run_once(benchmark, fig7.run, scale=repro_scale)
+def test_fig7_adaptive_refresh(
+    benchmark, save_rows, repro_scale, repro_jobs, repro_use_cache
+):
+    rows = run_once(
+        benchmark, fig7.run, scale=repro_scale, n_jobs=repro_jobs,
+        use_cache=repro_use_cache,
+    )
     save_rows("fig7", rows)
     fig7.print_rows(rows)
 

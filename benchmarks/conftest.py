@@ -8,6 +8,15 @@ EXPERIMENTS.md.
 
 ``--repro-scale`` adjusts trace lengths (default 0.5 keeps the full
 suite in a few minutes; 1.0+ tightens the statistics).
+``--repro-jobs`` fans each driver's simulation jobs out over worker
+processes; ``--repro-no-cache`` bypasses the on-disk result cache
+(see docs/ENGINE.md).
+
+Caching is on by default so a re-run regenerates figures in seconds —
+but that means a warm-cache run's *recorded timings* measure cache
+reads, not simulation.  Pass ``--repro-no-cache`` (or clear via
+``python -m repro.cli cache --clear``) when the benchmark numbers
+themselves matter.
 """
 
 import json
@@ -26,11 +35,33 @@ def pytest_addoption(parser):
         default=0.5,
         help="trace-length multiplier for simulation benches",
     )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes for simulation jobs (default 1 = serial)",
+    )
+    parser.addoption(
+        "--repro-no-cache",
+        action="store_true",
+        help="bypass the on-disk simulation result cache",
+    )
 
 
 @pytest.fixture
 def repro_scale(request):
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def repro_jobs(request):
+    return request.config.getoption("--repro-jobs")
+
+
+@pytest.fixture
+def repro_use_cache(request):
+    return not request.config.getoption("--repro-no-cache")
 
 
 @pytest.fixture

@@ -3,10 +3,14 @@
 Commands
 --------
 experiment <id>     Run a paper experiment (fig2, fig6, ..., table4).
+                    ``--jobs N`` fans simulation jobs out over N worker
+                    processes; ``--no-cache`` bypasses the on-disk
+                    result cache (see docs/ENGINE.md).
 list                List available experiments.
 safety <scheme>     Replay an attack against a scheme and report.
 configure           Print safe Mithril configurations for a FlipTH.
 schemes             List registered protection schemes.
+cache               Show (or clear) the simulation result cache.
 """
 
 from __future__ import annotations
@@ -41,7 +45,11 @@ def _cmd_schemes(_args) -> int:
 
 def _cmd_experiment(args) -> int:
     module = importlib.import_module(EXPERIMENTS[args.id][0])
-    kwargs = {"scale": args.scale}
+    kwargs = {
+        "scale": args.scale,
+        "n_jobs": args.jobs,
+        "use_cache": not args.no_cache,
+    }
     result = module.run(**kwargs)
     if args.json:
         print(json.dumps(result, indent=2, default=str))
@@ -99,6 +107,20 @@ def _cmd_configure(args) -> int:
             f"{config.rfm_th:>7} {config.n_entries:>8} "
             f"{config.bound:>10.1f} {config.table_kilobytes():>9.3f}"
         )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine import ResultCache, code_version
+
+    cache = ResultCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s)")
+        return 0
+    print(f"cache directory:  {cache.directory}")
+    print(f"code version:     {code_version()}")
+    print(f"cached results:   {cache.entry_count()} (current version)")
     return 0
 
 
@@ -162,6 +184,12 @@ def main(argv=None) -> int:
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--scale", type=float, default=1.0,
                        help="trace-length multiplier (default 1.0)")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for simulation jobs "
+                            "(default 1 = serial; results are identical "
+                            "at any setting)")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk simulation result cache")
     p_exp.add_argument("--json", action="store_true",
                        help="emit raw JSON rows")
     p_exp.add_argument("--markdown", action="store_true",
@@ -181,6 +209,13 @@ def main(argv=None) -> int:
     p_cfg.add_argument("flip_th", type=int)
     p_cfg.add_argument("--adaptive-th", type=int, default=0)
     p_cfg.set_defaults(func=_cmd_configure)
+
+    p_cache = sub.add_parser(
+        "cache", help="show or clear the simulation result cache"
+    )
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_safe = sub.add_parser("safety", help="replay an attack")
     p_safe.add_argument("scheme", choices=scheme_names())

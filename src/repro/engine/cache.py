@@ -1,0 +1,124 @@
+"""On-disk result cache keyed by job hash + code-version salt.
+
+Completed simulation points are stored as JSON under::
+
+    <cache dir>/<code version>/<job hash>.json
+
+The *code version* is a hash over every ``*.py`` file of the ``repro``
+package, so any change to the simulator, the schemes, or the workload
+generators silently invalidates old entries — a stale cache can never
+masquerade as a fresh result.  The cache directory defaults to
+``~/.cache/repro/sim`` and is overridden by the ``REPRO_CACHE_DIR``
+environment variable (tests point it at a tmpdir).
+
+Entries store both the canonical job description and the result, so a
+cache directory doubles as a browsable record of completed sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.engine.job import SimJob
+from repro.sim.metrics import SimulationResult
+from repro.types import EnergyCounts
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_code_version: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sim"
+
+
+def code_version() -> str:
+    """Hash of the installed ``repro`` sources (the cache salt)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    payload = dict(data)
+    payload["energy"] = EnergyCounts(**payload["energy"])
+    return SimulationResult(**payload)
+
+
+class ResultCache:
+    """Get/put completed :class:`SimulationResult`s by job."""
+
+    def __init__(self, directory=None):
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+
+    def path_for(self, job: SimJob) -> Path:
+        return self.directory / code_version() / f"{job.job_hash()}.json"
+
+    def get(self, job: SimJob) -> Optional[SimulationResult]:
+        """The cached result for ``job``, or None (corrupt files miss)."""
+        path = self.path_for(job)
+        try:
+            with path.open() as handle:
+                record = json.load(handle)
+            return result_from_dict(record["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, job: SimJob, result: SimulationResult) -> None:
+        """Store a result; an unwritable cache degrades to a no-op."""
+        try:
+            path = self.path_for(job)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            record = {
+                "job": job.canonical(), "result": result_to_dict(result)
+            }
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def entry_count(self) -> int:
+        """Number of cached results for the current code version."""
+        version_dir = self.directory / code_version()
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (all code versions); returns the count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in self.directory.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,141 @@
+"""The job executor: dedup → cache → (parallel) simulate.
+
+:func:`run_jobs` is the one entry point every experiment driver and
+bench goes through.  Results come back in input order; identical jobs
+(same :meth:`~repro.engine.job.SimJob.job_hash`) are simulated once
+and fanned back out, warm cache entries skip simulation entirely, and
+``n_jobs > 1`` distributes the remaining work over a
+``ProcessPoolExecutor``.  ``n_jobs=1`` is a deterministic serial path
+with no pool involved at all.
+
+Worker processes receive only the pickled :class:`SimJob`; traces are
+rebuilt from their seeded generators inside the child, so parallel
+runs are byte-identical to serial ones.
+
+Every call publishes a :class:`RunStats` on ``run_jobs.last_stats``
+(``simulated == 0`` on a fully warm cache is the invariant the
+determinism tests pin down).
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.cache import ResultCache
+from repro.engine.catalog import build_config, build_workload, scheme_factory_for
+from repro.engine.job import SimJob
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass
+class RunStats:
+    """Accounting for one :func:`run_jobs` call."""
+
+    total: int = 0        #: jobs requested (including duplicates)
+    unique: int = 0       #: distinct job hashes
+    cache_hits: int = 0   #: unique jobs served from the on-disk cache
+    simulated: int = 0    #: unique jobs actually executed
+    n_jobs: int = 1       #: worker processes used
+
+
+def execute_job(job: SimJob) -> SimulationResult:
+    """Materialize and run one job (also the worker-process entry)."""
+    from repro.sim.system import simulate
+
+    traces = build_workload(job.workload)
+    factory, rfm_th = scheme_factory_for(job)
+    return simulate(
+        traces,
+        scheme_factory=factory,
+        config=build_config(job.config_overrides),
+        rfm_th=rfm_th,
+        flip_th=job.flip_th,
+        mlp=job.mlp,
+        track_hammer=job.track_hammer,
+        max_cycles=job.max_cycles,
+    )
+
+
+def _execute_parallel(
+    missing: List[Tuple[str, SimJob]], workers: int
+) -> Dict[str, SimulationResult]:
+    jobs = [job for _hash, job in missing]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        completed = list(pool.map(execute_job, jobs))
+    return {h: result for (h, _job), result in zip(missing, completed)}
+
+
+def run_jobs(
+    jobs: Iterable[SimJob],
+    n_jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir=None,
+) -> List[SimulationResult]:
+    """Run a batch of jobs; results align with the input order.
+
+    ``n_jobs`` — worker processes (1 = serial, in-process).
+    ``use_cache`` — consult/populate the on-disk result cache.
+    ``cache_dir`` — cache location override (defaults to
+    ``REPRO_CACHE_DIR`` or ``~/.cache/repro/sim``).
+    """
+    job_list = list(jobs)
+    n_jobs = max(1, int(n_jobs))
+    stats = RunStats(total=len(job_list), n_jobs=n_jobs)
+
+    order: List[str] = []
+    unique: Dict[str, SimJob] = {}
+    for job in job_list:
+        job_hash = job.job_hash()
+        order.append(job_hash)
+        if job_hash not in unique:
+            unique[job_hash] = job
+    stats.unique = len(unique)
+
+    results: Dict[str, SimulationResult] = {}
+    cache: Optional[ResultCache] = (
+        ResultCache(cache_dir) if use_cache else None
+    )
+    if cache is not None:
+        for job_hash, job in unique.items():
+            hit = cache.get(job)
+            if hit is not None:
+                results[job_hash] = hit
+        stats.cache_hits = len(results)
+
+    missing = [
+        (job_hash, job)
+        for job_hash, job in unique.items()
+        if job_hash not in results
+    ]
+    stats.simulated = len(missing)
+    if missing:
+        workers = min(n_jobs, len(missing))
+        if workers > 1:
+            try:
+                results.update(_execute_parallel(missing, workers))
+            except (OSError, BrokenProcessPool) as error:
+                warnings.warn(
+                    f"process pool unavailable ({error}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                for job_hash, job in missing:
+                    results[job_hash] = execute_job(job)
+        else:
+            for job_hash, job in missing:
+                results[job_hash] = execute_job(job)
+        if cache is not None:
+            for job_hash, job in missing:
+                cache.put(job, results[job_hash])
+
+    run_jobs.last_stats = stats
+    return [results[job_hash] for job_hash in order]
+
+
+#: Stats of the most recent call (None before the first call).
+run_jobs.last_stats = None

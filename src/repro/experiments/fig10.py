@@ -14,20 +14,19 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.area import blockhammer_table_kb, mithril_table_kb
 from repro.analysis.energy import energy_overhead_percent
-from repro.experiments.runner import (
-    attack_workload,
-    geo_mean,
-    normal_workloads,
-    scheme_under_test,
+from repro.engine import (
+    JobPlan,
+    SimJob,
+    attack_workload_spec,
+    normal_workload_specs,
 )
+from repro.engine.catalog import DEFAULT_ATTACK_SEEDS as ATTACK_SEEDS
+from repro.experiments.runner import geo_mean
 from repro.params import MITHRIL_DEFAULT_RFM_TH, PAPER_FLIP_THRESHOLDS
-from repro.sim.system import simulate
 
 DEFAULT_SCHEMES = ("parfm", "blockhammer", "mithril", "mithril+")
 
-
-#: Benign-mix seeds the attack panels are averaged over.
-ATTACK_SEEDS = (31, 41, 51)
+ATTACK_KINDS = ("multi-sided", "bh-adversarial")
 
 
 def run(
@@ -35,65 +34,80 @@ def run(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     scale: float = 1.0,
     attack_seeds: Sequence[int] = ATTACK_SEEDS,
+    n_jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[Dict]:
-    benign = normal_workloads(scale)
-    benign_baselines = {
-        name: simulate(traces) for name, traces in benign.items()
-    }
+    benign_specs = normal_workload_specs(scale)
+
+    plan = JobPlan()
+    for name, spec in benign_specs.items():
+        plan.add(("benign-base", name), SimJob(workload=spec))
+    for flip_th in flip_thresholds:
+        attack_specs = {
+            (kind, seed): attack_workload_spec(
+                kind, scale, flip_th=flip_th, seed=seed
+            )
+            for kind in ATTACK_KINDS
+            for seed in attack_seeds
+        }
+        for (kind, seed), spec in attack_specs.items():
+            plan.add(
+                ("attack-base", flip_th, kind, seed),
+                SimJob(workload=spec, flip_th=flip_th),
+            )
+        for scheme in schemes:
+            for name, spec in benign_specs.items():
+                plan.add(
+                    ("benign", flip_th, scheme, name),
+                    SimJob(
+                        workload=spec, scheme=scheme, flip_th=flip_th,
+                        scale=scale,
+                    ),
+                )
+            for (kind, seed), spec in attack_specs.items():
+                plan.add(
+                    ("attack", flip_th, scheme, kind, seed),
+                    SimJob(
+                        workload=spec, scheme=scheme, flip_th=flip_th,
+                        scale=scale,
+                    ),
+                )
+
+    res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
+
     rows = []
     for flip_th in flip_thresholds:
-        attacks = {
-            kind: [
-                attack_workload(kind, scale, flip_th=flip_th, seed=seed)
-                for seed in attack_seeds
-            ]
-            for kind in ("multi-sided", "bh-adversarial")
-        }
-        attack_baselines = {
-            kind: [simulate(traces, flip_th=flip_th) for traces in runs]
-            for kind, runs in attacks.items()
-        }
-        for scheme_name in schemes:
-            factory, rfm_th = scheme_under_test(scheme_name, flip_th, scale)
+        for scheme in schemes:
             rels = []
             energies = []
-            for name, traces in benign.items():
-                result = simulate(
-                    traces, scheme_factory=factory, rfm_th=rfm_th,
-                    flip_th=flip_th,
-                )
-                rels.append(
-                    result.relative_performance(benign_baselines[name])
-                )
+            for name in benign_specs:
+                result = res[("benign", flip_th, scheme, name)]
+                baseline = res[("benign-base", name)]
+                rels.append(result.relative_performance(baseline))
                 energies.append(
-                    max(
-                        energy_overhead_percent(
-                            result, benign_baselines[name]
-                        ),
-                        1e-6,
-                    )
+                    max(energy_overhead_percent(result, baseline), 1e-6)
                 )
             attack_rel = {}
-            for name, runs in attacks.items():
-                values = []
-                for traces, baseline in zip(runs, attack_baselines[name]):
-                    result = simulate(
-                        traces, scheme_factory=factory, rfm_th=rfm_th,
-                        flip_th=flip_th,
+            for kind in ATTACK_KINDS:
+                values = [
+                    res[("attack", flip_th, scheme, kind, seed)]
+                    .relative_performance(
+                        res[("attack-base", flip_th, kind, seed)]
                     )
-                    values.append(result.relative_performance(baseline))
-                attack_rel[name] = round(sum(values) / len(values), 3)
+                    for seed in attack_seeds
+                ]
+                attack_rel[kind] = round(sum(values) / len(values), 3)
             rows.append(
                 {
                     "flip_th": flip_th,
-                    "scheme": scheme_name,
+                    "scheme": scheme,
                     "normal_rel_perf_pct": round(geo_mean(rels), 3),
                     "multi_sided_rel_perf_pct": attack_rel["multi-sided"],
                     "bh_adversarial_rel_perf_pct": attack_rel[
                         "bh-adversarial"
                     ],
                     "normal_energy_overhead_pct": round(geo_mean(energies), 4),
-                    "table_kb": _table_kb(scheme_name, flip_th),
+                    "table_kb": _table_kb(scheme, flip_th),
                 }
             )
     return rows

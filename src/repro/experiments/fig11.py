@@ -10,14 +10,15 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.energy import energy_overhead_percent
-from repro.experiments.runner import (
-    attack_workload,
-    geo_mean,
-    normal_workloads,
-    scheme_under_test,
+from repro.engine import (
+    JobPlan,
+    SimJob,
+    attack_workload_spec,
+    normal_workload_specs,
 )
+from repro.engine.catalog import DEFAULT_ATTACK_SEEDS as ATTACK_SEEDS
+from repro.experiments.runner import geo_mean
 from repro.params import PAPER_FLIP_THRESHOLDS
-from repro.sim.system import simulate
 
 DEFAULT_SCHEMES = ("para", "cbt", "twice", "graphene", "mithril", "mithril+")
 
@@ -26,54 +27,69 @@ def run(
     flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     scale: float = 1.0,
+    attack_seeds: Sequence[int] = ATTACK_SEEDS,
+    n_jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[Dict]:
-    benign = normal_workloads(scale)
-    benign_baselines = {
-        name: simulate(traces) for name, traces in benign.items()
-    }
-    rows = []
-    attack_seeds = (31, 41, 51)
+    benign_specs = normal_workload_specs(scale)
+
+    plan = JobPlan()
+    for name, spec in benign_specs.items():
+        plan.add(("benign-base", name), SimJob(workload=spec))
     for flip_th in flip_thresholds:
-        attack_runs = [
-            attack_workload("multi-sided", scale, flip_th=flip_th, seed=seed)
+        attack_specs = {
+            seed: attack_workload_spec(
+                "multi-sided", scale, flip_th=flip_th, seed=seed
+            )
             for seed in attack_seeds
-        ]
-        attack_baselines = [
-            simulate(traces, flip_th=flip_th) for traces in attack_runs
-        ]
-        for scheme_name in schemes:
-            factory, rfm_th = scheme_under_test(scheme_name, flip_th, scale)
+        }
+        for seed, spec in attack_specs.items():
+            plan.add(
+                ("attack-base", flip_th, seed),
+                SimJob(workload=spec, flip_th=flip_th),
+            )
+        for scheme in schemes:
+            for name, spec in benign_specs.items():
+                plan.add(
+                    ("benign", flip_th, scheme, name),
+                    SimJob(
+                        workload=spec, scheme=scheme, flip_th=flip_th,
+                        scale=scale,
+                    ),
+                )
+            for seed, spec in attack_specs.items():
+                plan.add(
+                    ("attack", flip_th, scheme, seed),
+                    SimJob(
+                        workload=spec, scheme=scheme, flip_th=flip_th,
+                        scale=scale,
+                    ),
+                )
+
+    res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
+
+    rows = []
+    for flip_th in flip_thresholds:
+        for scheme in schemes:
             rels = []
             energies = []
-            for name, traces in benign.items():
-                result = simulate(
-                    traces, scheme_factory=factory, rfm_th=rfm_th,
-                    flip_th=flip_th,
-                )
-                rels.append(
-                    result.relative_performance(benign_baselines[name])
-                )
+            for name in benign_specs:
+                result = res[("benign", flip_th, scheme, name)]
+                baseline = res[("benign-base", name)]
+                rels.append(result.relative_performance(baseline))
                 energies.append(
-                    max(
-                        energy_overhead_percent(
-                            result, benign_baselines[name]
-                        ),
-                        1e-6,
-                    )
+                    max(energy_overhead_percent(result, baseline), 1e-6)
                 )
-            attack_rels = []
-            for traces, baseline in zip(attack_runs, attack_baselines):
-                attack_result = simulate(
-                    traces, scheme_factory=factory, rfm_th=rfm_th,
-                    flip_th=flip_th,
+            attack_rels = [
+                res[("attack", flip_th, scheme, seed)].relative_performance(
+                    res[("attack-base", flip_th, seed)]
                 )
-                attack_rels.append(
-                    attack_result.relative_performance(baseline)
-                )
+                for seed in attack_seeds
+            ]
             rows.append(
                 {
                     "flip_th": flip_th,
-                    "scheme": scheme_name,
+                    "scheme": scheme,
                     "normal_rel_perf_pct": round(geo_mean(rels), 3),
                     "multi_sided_rel_perf_pct": round(
                         sum(attack_rels) / len(attack_rels), 3

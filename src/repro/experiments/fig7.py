@@ -15,9 +15,8 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.energy import energy_overhead_percent
 from repro.core.config import min_entries_for
-from repro.core.mithril import MithrilScheme
-from repro.experiments.runner import geo_mean, normal_workloads
-from repro.sim.system import simulate
+from repro.engine import JobPlan, SimJob, normal_workload_specs
+from repro.experiments.runner import geo_mean
 
 DEFAULT_CONFIGS = ((3_125, 16), (6_250, 64))
 DEFAULT_ADTH_SWEEP = (0, 50, 100, 150, 200)
@@ -27,61 +26,79 @@ def run(
     configs: Sequence = DEFAULT_CONFIGS,
     adth_values: Sequence[int] = DEFAULT_ADTH_SWEEP,
     scale: float = 1.0,
+    n_jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[Dict]:
-    workloads = normal_workloads(scale)
+    specs = normal_workload_specs(scale)
     multiprogrammed = ("mix-high", "mix-blend")
     multithreaded = ("fft", "radix", "pagerank")
-    baselines = {
-        name: simulate(traces) for name, traces in workloads.items()
-    }
-    rows = []
+
+    plan = JobPlan()
+    for name, spec in specs.items():
+        plan.add(("base", name), SimJob(workload=spec))
+    points = []
     for flip_th, rfm_th in configs:
         base_entries = min_entries_for(flip_th, rfm_th, 0)
         for adth in adth_values:
             entries = min_entries_for(flip_th, rfm_th, adth)
             if entries is None or base_entries is None:
                 continue
-            overheads = {}
-            skipped = {}
-            for name, traces in workloads.items():
-                result = simulate(
-                    traces,
-                    scheme_factory=lambda: MithrilScheme(
-                        n_entries=entries, rfm_th=rfm_th, adaptive_th=adth
+            points.append((flip_th, rfm_th, adth, entries, base_entries))
+            for name, spec in specs.items():
+                plan.add(
+                    (flip_th, rfm_th, adth, name),
+                    SimJob.make(
+                        workload=spec,
+                        scheme="mithril",
+                        scheme_params={
+                            "n_entries": entries,
+                            "rfm_th": rfm_th,
+                            "adaptive_th": adth,
+                        },
+                        flip_th=flip_th,
+                        rfm_th=rfm_th,
+                        scale=scale,
                     ),
-                    rfm_th=rfm_th,
-                    flip_th=flip_th,
                 )
-                overheads[name] = energy_overhead_percent(
-                    result, baselines[name]
-                )
-                total_rfms = result.rfm_commands or 1
-                skipped[name] = 100.0 * result.rfms_skipped / total_rfms
-            rows.append(
-                {
-                    "flip_th": flip_th,
-                    "rfm_th": rfm_th,
-                    "adth": adth,
-                    "energy_overhead_multiprogrammed_pct": round(
-                        geo_mean(
-                            [max(overheads[w], 1e-6) for w in multiprogrammed]
-                        ),
-                        4,
-                    ),
-                    "energy_overhead_multithreaded_pct": round(
-                        geo_mean(
-                            [max(overheads[w], 1e-6) for w in multithreaded]
-                        ),
-                        4,
-                    ),
-                    "rfms_skipped_pct": round(
-                        geo_mean([max(v, 1e-6) for v in skipped.values()]), 2
-                    ),
-                    "additional_entries_pct": round(
-                        100.0 * (entries - base_entries) / base_entries, 2
-                    ),
-                }
+
+    res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
+
+    rows = []
+    for flip_th, rfm_th, adth, entries, base_entries in points:
+        overheads = {}
+        skipped = {}
+        for name in specs:
+            result = res[(flip_th, rfm_th, adth, name)]
+            overheads[name] = energy_overhead_percent(
+                result, res[("base", name)]
             )
+            total_rfms = result.rfm_commands or 1
+            skipped[name] = 100.0 * result.rfms_skipped / total_rfms
+        rows.append(
+            {
+                "flip_th": flip_th,
+                "rfm_th": rfm_th,
+                "adth": adth,
+                "energy_overhead_multiprogrammed_pct": round(
+                    geo_mean(
+                        [max(overheads[w], 1e-6) for w in multiprogrammed]
+                    ),
+                    4,
+                ),
+                "energy_overhead_multithreaded_pct": round(
+                    geo_mean(
+                        [max(overheads[w], 1e-6) for w in multithreaded]
+                    ),
+                    4,
+                ),
+                "rfms_skipped_pct": round(
+                    geo_mean([max(v, 1e-6) for v in skipped.values()]), 2
+                ),
+                "additional_entries_pct": round(
+                    100.0 * (entries - base_entries) / base_entries, 2
+                ),
+            }
+        )
     return rows
 
 

@@ -10,10 +10,9 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import MithrilConfig, min_entries_for
-from repro.core.mithril import MithrilScheme
-from repro.experiments.runner import geo_mean, normal_workloads
+from repro.engine import JobPlan, SimJob, normal_workload_specs
+from repro.experiments.runner import geo_mean
 from repro.params import DEFAULT_ADAPTIVE_THRESHOLD
-from repro.sim.system import simulate
 
 #: The paper's x-axis: (FlipTH, RFM_TH) pairs from Figure 9.
 DEFAULT_SWEEP = (
@@ -34,14 +33,43 @@ def run(
     sweep: Sequence[Tuple[int, int]] = DEFAULT_SWEEP,
     adaptive_th: int = DEFAULT_ADAPTIVE_THRESHOLD,
     scale: float = 1.0,
+    n_jobs: int = 1,
+    use_cache: bool = True,
 ) -> List[Dict]:
-    workloads = normal_workloads(scale)
-    baselines = {
-        name: simulate(traces) for name, traces in workloads.items()
-    }
-    rows = []
+    specs = normal_workload_specs(scale)
+
+    plan = JobPlan()
+    for name, spec in specs.items():
+        plan.add(("base", name), SimJob(workload=spec))
+    points = []
     for flip_th, rfm_th in sweep:
         n = min_entries_for(flip_th, rfm_th, adaptive_th)
+        points.append((flip_th, rfm_th, n))
+        if n is None:
+            continue
+        for plus in (False, True):
+            scheme = "mithril+" if plus else "mithril"
+            for name, spec in specs.items():
+                plan.add(
+                    (flip_th, rfm_th, scheme, name),
+                    SimJob.make(
+                        workload=spec,
+                        scheme=scheme,
+                        scheme_params={
+                            "n_entries": n,
+                            "rfm_th": rfm_th,
+                            "adaptive_th": adaptive_th,
+                        },
+                        flip_th=flip_th,
+                        rfm_th=rfm_th,
+                        scale=scale,
+                    ),
+                )
+
+    res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
+
+    rows = []
+    for flip_th, rfm_th, n in points:
         if n is None:
             rows.append(
                 {
@@ -56,22 +84,14 @@ def run(
             adaptive_th=adaptive_th,
         )
         perf = {}
-        for plus in (False, True):
-            rels = []
-            for name, traces in workloads.items():
-                result = simulate(
-                    traces,
-                    scheme_factory=lambda: MithrilScheme(
-                        n_entries=n,
-                        rfm_th=rfm_th,
-                        adaptive_th=adaptive_th,
-                        plus=plus,
-                    ),
-                    rfm_th=rfm_th,
-                    flip_th=flip_th,
+        for scheme in ("mithril", "mithril+"):
+            rels = [
+                res[(flip_th, rfm_th, scheme, name)].relative_performance(
+                    res[("base", name)]
                 )
-                rels.append(result.relative_performance(baselines[name]))
-            perf["mithril+" if plus else "mithril"] = round(geo_mean(rels), 3)
+                for name in specs
+            ]
+            perf[scheme] = round(geo_mean(rels), 3)
         rows.append(
             {
                 "flip_th": flip_th,

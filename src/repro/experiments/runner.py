@@ -1,50 +1,32 @@
 """Shared machinery for the experiment drivers.
 
-Workload construction, scheme factories per (scheme, FlipTH), and the
-relative-performance / energy-overhead computations every figure needs.
+Workload construction and the per-(scheme, FlipTH) factories live in
+the engine catalog (:mod:`repro.engine.catalog`); this module re-exports
+them for the drivers and older call sites, keeps the aggregation
+helpers, and holds the experiment registry the CLI dispatches through.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.analysis.energy import energy_overhead_percent
-from repro.analysis.parfm_failure import parfm_rfm_th_for
-from repro.core.config import min_entries_for, paper_default_config
-from repro.core.mithril import MithrilScheme
-from repro.mitigations.blockhammer import BlockHammerScheme
-from repro.mitigations.cbt import CbtScheme
-from repro.mitigations.graphene import GrapheneScheme
-from repro.mitigations.para import ParaScheme
-from repro.mitigations.parfm import ParfmScheme
-from repro.mitigations.twice import TwiceScheme
-from repro.params import DEFAULT_ADAPTIVE_THRESHOLD, MITHRIL_DEFAULT_RFM_TH
-from repro.sim.metrics import SimulationResult
-from repro.sim.system import simulate
-from repro.workloads.attacks import (
-    blockhammer_adversarial_trace,
-    multi_sided_trace,
+from repro.engine.catalog import (  # noqa: F401  (re-exported API)
+    BH_WINDOW_COMPRESSION,
+    DEFAULT_BANKS,
+    DEFAULT_CORES,
+    DEFAULT_REQUESTS,
+    attack_workload,
+    attack_workload_spec,
+    normal_workload_specs,
+    normal_workloads,
+    scaled_blockhammer_params,
+    scheme_under_test,
 )
-from repro.workloads.multithreaded import fft_like, pagerank_like, radix_like
-from repro.workloads.spec_like import mix_blend, mix_high
-from repro.workloads.trace import CoreTrace
-
-#: Default experiment sizing (CI-friendly; scale them up for precision).
-DEFAULT_CORES = 4
-DEFAULT_REQUESTS = 1200
-DEFAULT_BANKS = 16
-
-#: BlockHammer window compression (documented substitution, DESIGN.md).
-#:
-#: BlockHammer's blacklist dynamics compare per-row ACT counts
-#: accumulated over tCBF (= tREFW, 32 ms) against N_BL.  The default
-#: traces cover roughly 1/100 of a tREFW, so at paper-scale N_BL no row
-#: could ever be blacklisted and the scheme would look free.  The
-#: experiments therefore scale N_BL, FlipTH and tCBF down by this
-#: factor, preserving the count-to-threshold ratios that drive both
-#: correct throttling and the misidentification the paper reports.
-BH_WINDOW_COMPRESSION = 16
+from repro.engine.executor import run_jobs
+from repro.engine.job import SimJob, WorkloadSpec
+from repro.sim.metrics import SimulationResult
 
 
 def geo_mean(values: Sequence[float]) -> float:
@@ -55,174 +37,36 @@ def geo_mean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in filtered) / len(filtered))
 
 
-def _sized(scale: float, base: int) -> int:
-    return max(64, int(base * scale))
-
-
-def normal_workloads(
-    scale: float = 1.0,
-    num_cores: int = DEFAULT_CORES,
-    num_banks: int = DEFAULT_BANKS,
-) -> Dict[str, List[CoreTrace]]:
-    """The paper's benign suite: 2 multiprogrammed + 3 multithreaded."""
-    n = _sized(scale, DEFAULT_REQUESTS)
-    return {
-        "mix-high": mix_high(num_cores, n, num_banks, seed=11),
-        "mix-blend": mix_blend(num_cores, n, num_banks, seed=12),
-        "fft": fft_like(num_cores, n, num_banks, seed=21),
-        "radix": radix_like(num_cores, n, num_banks, seed=22),
-        "pagerank": pagerank_like(num_cores, n, num_banks, seed=23),
-    }
-
-
-def attack_workload(
-    kind: str,
-    scale: float = 1.0,
-    num_cores: int = 8,
-    num_banks: int = DEFAULT_BANKS,
-    flip_th: int = 6_250,
-    seed: int = 31,
-) -> List[CoreTrace]:
-    """One attacker core plus ``num_cores - 1`` benign cores.
-
-    Eight cores by default: the attacker's weight in the aggregate IPC
-    (1/8) approximates the paper's 1/16, and the extra benign cores
-    dilute single-bank interleaving noise.  Experiments average the
-    attack panels over several ``seed`` values — short closed-loop
-    traces make individual runs sensitive to interleaving phase.
-    """
-    n = _sized(scale, DEFAULT_REQUESTS)
-    benign = mix_high(num_cores - 1, n, num_banks, seed=seed)
-    if kind == "multi-sided":
-        attacker = multi_sided_trace(
-            num_victims=32, bank_index=0, total_requests=8 * n
-        )
-    elif kind == "bh-adversarial":
-        from collections import Counter
-
-        cbf_size, n_bl_sim, _flip_sim = scaled_blockhammer_params(
-            flip_th, scale
-        )
-        # The attacker profiles the benign threads' hottest rows on the
-        # target bank and hammers their CBF-covering aliases.
-        hot = Counter(
-            e.row
-            for trace in benign
-            for e in trace.entries
-            if e.bank_index % num_banks == 0
-        )
-        benign_rows = [row for row, _ in hot.most_common(4)] or [1000]
-        attacker = blockhammer_adversarial_trace(
-            benign_rows=benign_rows,
-            cbf_size=cbf_size,
-            blacklist_threshold=n_bl_sim,
-            bank_index=0,
-            total_requests=8 * n,
-        )
-    else:
-        raise ValueError(f"unknown attack kind {kind!r}")
-    return benign + [attacker]
-
-
-def scheme_under_test(
-    name: str, flip_th: int, scale: float = 1.0
-) -> Tuple[Optional[Callable[[], object]], int]:
-    """(scheme factory, rfm_th) for a named scheme at a FlipTH.
-
-    Follows the paper's per-FlipTH configurations (Section VI-A).
-    ``scale`` is the trace-length multiplier; BlockHammer's
-    window-compressed thresholds track it so the blacklist dynamics
-    stay calibrated to the trace coverage.
-    """
-    if name == "none":
-        return None, 0
-    if name in ("mithril", "mithril+"):
-        config = paper_default_config(
-            flip_th, adaptive_th=DEFAULT_ADAPTIVE_THRESHOLD
-        )
-        plus = name == "mithril+"
-        return (
-            lambda: MithrilScheme(
-                n_entries=config.n_entries,
-                rfm_th=config.rfm_th,
-                adaptive_th=config.adaptive_th,
-                plus=plus,
-            ),
-            config.rfm_th,
-        )
-    if name == "parfm":
-        rfm_th = parfm_rfm_th_for(flip_th) or 2
-        return (lambda: ParfmScheme()), rfm_th
-    if name == "blockhammer":
-        factory = _blockhammer_factory(flip_th, scale)
-        return factory, 0
-    if name == "para":
-        return (lambda: ParaScheme(flip_th=flip_th)), 0
-    if name == "graphene":
-        return (lambda: GrapheneScheme(flip_th=flip_th)), 0
-    if name == "twice":
-        return (lambda: TwiceScheme(flip_th=flip_th)), 0
-    if name == "cbt":
-        return (lambda: CbtScheme(flip_th=flip_th)), 0
-    raise ValueError(f"unknown scheme {name!r}")
-
-
-def scaled_blockhammer_params(
-    flip_th: int, scale: float = 1.0
-) -> Tuple[int, int, int]:
-    """(cbf_size, scaled N_BL, scaled FlipTH) for simulation runs."""
-    from repro.mitigations.blockhammer import blockhammer_config
-
-    cbf_size, n_bl = blockhammer_config(flip_th)
-    compression = BH_WINDOW_COMPRESSION / max(scale, 1e-6)
-    n_bl_sim = max(4, int(n_bl / compression))
-    flip_sim = max(n_bl_sim + 4, int(flip_th / compression))
-    return cbf_size, n_bl_sim, flip_sim
-
-
-def _blockhammer_factory(
-    flip_th: int, scale: float = 1.0
-) -> Callable[[], BlockHammerScheme]:
-    import dataclasses
-
-    from repro.params import DramTimings
-
-    cbf_size, n_bl_sim, flip_sim = scaled_blockhammer_params(flip_th, scale)
-    compression = BH_WINDOW_COMPRESSION / max(scale, 1e-6)
-    timings = dataclasses.replace(
-        DramTimings(), trefw=DramTimings().trefw / compression
-    )
-    return lambda: BlockHammerScheme(
-        flip_th=flip_sim,
-        cbf_size=cbf_size,
-        n_bl=n_bl_sim,
-        timings=timings,
-    )
-
-
 def run_pair(
-    traces: Sequence[CoreTrace],
+    workload: WorkloadSpec,
     scheme_name: str,
     flip_th: int,
-    baseline: Optional[SimulationResult] = None,
+    scale: float = 1.0,
+    n_jobs: int = 1,
+    use_cache: bool = True,
 ) -> Tuple[SimulationResult, SimulationResult]:
-    """Simulate (baseline, scheme) on the same traces."""
-    if baseline is None:
-        baseline = simulate(traces, flip_th=flip_th)
-    factory, rfm_th = scheme_under_test(scheme_name, flip_th)
-    result = simulate(
-        traces, scheme_factory=factory, rfm_th=rfm_th, flip_th=flip_th
+    """Simulate (unprotected baseline, scheme) on the same workload."""
+    baseline_job = SimJob(workload=workload, flip_th=flip_th)
+    scheme_job = SimJob(
+        workload=workload, scheme=scheme_name, flip_th=flip_th, scale=scale
+    )
+    baseline, result = run_jobs(
+        [baseline_job, scheme_job], n_jobs=n_jobs, use_cache=use_cache
     )
     return baseline, result
 
 
 def relative_perf_and_energy(
-    traces: Sequence[CoreTrace],
+    workload: WorkloadSpec,
     scheme_name: str,
     flip_th: int,
-    baseline: Optional[SimulationResult] = None,
+    scale: float = 1.0,
+    n_jobs: int = 1,
+    use_cache: bool = True,
 ) -> Tuple[float, float, SimulationResult]:
-    base, result = run_pair(traces, scheme_name, flip_th, baseline)
+    base, result = run_pair(
+        workload, scheme_name, flip_th, scale, n_jobs, use_cache
+    )
     return (
         result.relative_performance(base),
         energy_overhead_percent(result, base),

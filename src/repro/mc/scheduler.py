@@ -44,6 +44,8 @@ class FrFcfsScheduler:
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index
+        if best_key is not None and best_key[0]:
+            return None  # every candidate is throttled
         return best_index
 
     def on_served(
@@ -88,6 +90,8 @@ class BlissScheduler:
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index
+        if best_key is not None and best_key[0]:
+            return None  # every candidate is throttled
         return best_index
 
     def on_served(

@@ -10,8 +10,7 @@ read completions, which stalls cores and lowers aggregate IPC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 from repro.workloads.trace import CoreTrace, TraceEntry
 
@@ -28,7 +27,6 @@ class TraceCore:
     outstanding_reads: int = 0
     next_issue_cycle: int = 0
     stalled_on_mlp: bool = False
-    finish_cycle: Optional[int] = None
     reads_issued: int = 0
     writes_issued: int = 0
 
@@ -37,16 +35,6 @@ class TraceCore:
 
     def peek(self) -> TraceEntry:
         return self.trace.entries[self.index]
-
-    def can_issue(self, cycle: int) -> bool:
-        if self.done_issuing():
-            return False
-        if cycle < self.next_issue_cycle:
-            return False
-        entry = self.peek()
-        if not entry.is_write and self.outstanding_reads >= self.mlp:
-            return False
-        return True
 
     def issue(self, cycle: int) -> TraceEntry:
         """Consume the next trace entry at ``cycle``."""

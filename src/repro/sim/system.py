@@ -146,13 +146,28 @@ class SimulatedSystem:
             return controller.throttle_release(request, cycle)
 
         index = scheduler.pick(queue, controller.bank.open_row, cycle, release_of)
-        if index is None:
-            index = 0
+        abstained = index is None
+        if abstained:
+            # Scheduler abstained: fall back to the candidate whose
+            # throttle releases first (oldest on ties).  The shipped
+            # schedulers abstain only when every candidate is
+            # throttled, but the Scheduler contract allows abstaining
+            # for any reason, so the fallback must still be able to
+            # serve a released request.
+            index = min(
+                range(len(queue)),
+                key=lambda i: (release_of(queue[i]), queue[i].arrival_cycle),
+            )
         request = queue[index]
         release = release_of(request)
         if release > cycle:
-            # Every candidate is throttled; retry at the earliest release.
-            earliest = min(release_of(r) for r in queue)
+            # Every candidate is throttled; retry at the earliest
+            # release (on the abstain path the chosen request already
+            # holds the queue minimum).
+            earliest = (
+                release if abstained
+                else min(release_of(r) for r in queue)
+            )
             self._bank_scheduled[flat] = True
             self._push(max(earliest, cycle + 1), "bank", flat)
             return

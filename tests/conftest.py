@@ -5,6 +5,16 @@ import pytest
 from repro.params import DramOrganization, DramTimings, SystemConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sim_cache(tmp_path, monkeypatch):
+    """Keep the engine's result cache out of ~/.cache during tests.
+
+    Every test gets a fresh, throwaway cache directory, so driver runs
+    always exercise the simulate path and never leave state behind.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sim-cache"))
+
+
 @pytest.fixture
 def timings() -> DramTimings:
     return DramTimings()

@@ -7,6 +7,8 @@ victim disturbance below FlipTH (in fact below 2M + slack).
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.bounds import estimated_growth_bound
 from repro.core.config import min_entries_for
 from repro.core.mithril import MithrilScheme

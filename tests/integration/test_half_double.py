@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.config import min_entries_for
 from repro.core.mithril import MithrilScheme
 from repro.protection import NoProtection

@@ -7,6 +7,8 @@ flip.  These replays run at full ACT rate with real refresh cadence.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.config import min_entries_for
 from repro.core.mithril import MithrilScheme
 from repro.mitigations.blockhammer import BlockHammerScheme

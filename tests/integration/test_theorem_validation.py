@@ -7,6 +7,8 @@ proof bounds.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.config import min_entries_for
 from repro.core.mithril import MithrilScheme
 from repro.verify.adversary import (

@@ -1,0 +1,95 @@
+"""Unit tests for the on-disk result cache."""
+
+from repro.engine import (
+    ResultCache,
+    SimJob,
+    WorkloadSpec,
+    code_version,
+    default_cache_dir,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sim.metrics import SimulationResult
+from repro.types import EnergyCounts
+
+
+def _job():
+    return SimJob(workload=WorkloadSpec.make("fft", seed=21, scale=0.1))
+
+
+def _result():
+    return SimulationResult(
+        scheme_name="none",
+        total_cycles=1234,
+        per_core_instructions=[10, 20],
+        per_core_finish_cycles=[1000, 1234],
+        energy=EnergyCounts(acts=5, reads=7),
+        acts=5,
+        row_hits=3,
+        row_misses=2,
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        result = _result()
+        assert result_from_dict(result_to_dict(result)) == result
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        assert cache.get(job) is None
+        cache.put(job, _result())
+        assert cache.get(job) == _result()
+        assert cache.entry_count() == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        cache.put(job, _result())
+        cache.path_for(job).write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_job(), _result())
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+        assert cache.get(_job()) is None
+
+    def test_entries_record_the_job(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        job = _job()
+        cache.put(job, _result())
+        record = json.loads(cache.path_for(job).read_text())
+        assert record["job"] == job.canonical()
+
+    def test_unwritable_cache_degrades_to_noop(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        cache = ResultCache(blocker / "cache")  # parent is a file
+        cache.put(_job(), _result())  # must not raise
+        assert cache.get(_job()) is None
+
+    def test_distinct_jobs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        other = SimJob(workload=_job().workload, flip_th=42)
+        cache.put(job, _result())
+        assert cache.get(other) is None
+
+
+class TestCacheLocation:
+    def test_env_var_overrides_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert "repro" in str(default_cache_dir())
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16

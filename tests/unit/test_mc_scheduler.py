@@ -48,6 +48,13 @@ class TestFrFcfs:
         scheduler = FrFcfsScheduler()
         assert scheduler.pick([], None, 0, _no_throttle) is None
 
+    def test_all_throttled_abstains(self):
+        scheduler = FrFcfsScheduler()
+        queue = [_request(0, 0, 10), _request(1, 5, 20)]
+        index = scheduler.pick(queue, open_row=10, cycle=100,
+                               release_of=lambda r: 10_000)
+        assert index is None  # the event loop falls back by release
+
 
 class TestBliss:
     def test_blacklists_after_streak(self):
@@ -85,6 +92,13 @@ class TestBliss:
         scheduler.on_served(core=0, cycle=0)
         queue = [_request(0, 0, 10)]
         assert scheduler.pick(queue, None, 100, _no_throttle) == 0
+
+    def test_all_throttled_abstains(self):
+        scheduler = BlissScheduler()
+        queue = [_request(0, 0, 10), _request(1, 5, 20)]
+        index = scheduler.pick(queue, None, 100,
+                               release_of=lambda r: 10_000)
+        assert index is None
 
 
 class TestFactory:

@@ -26,24 +26,22 @@ class TestTraceCore:
         )
         core.issue(0)
         assert core.next_issue_cycle == 10
-        assert not core.can_issue(5)
-        assert core.can_issue(10)
 
-    def test_mlp_blocks_reads(self):
+    def test_mlp_tracks_outstanding_reads(self):
         entries = [TraceEntry(0, 0, i) for i in range(4)]
         core = TraceCore(0, _trace(entries), mlp=2)
         core.issue(0)
         core.issue(1)
         assert core.outstanding_reads == 2
-        assert not core.can_issue(10)
+        assert core.outstanding_reads >= core.mlp  # event loop stalls here
         core.on_read_complete(20)
-        assert core.can_issue(20)
+        assert core.outstanding_reads == 1
+        assert core.outstanding_reads < core.mlp
 
-    def test_writes_never_block(self):
+    def test_writes_never_add_outstanding_reads(self):
         entries = [TraceEntry(0, 0, i, is_write=True) for i in range(5)]
         core = TraceCore(0, _trace(entries), mlp=1)
-        for cycle in range(5):
-            assert core.can_issue(core.next_issue_cycle)
+        for _ in range(5):
             core.issue(core.next_issue_cycle)
         assert core.outstanding_reads == 0
         assert core.writes_issued == 5
@@ -52,7 +50,6 @@ class TestTraceCore:
         core = TraceCore(0, _trace([TraceEntry(0, 0, 1)]))
         core.issue(0)
         assert core.done_issuing()
-        assert not core.can_issue(100)
 
     def test_completion_underflow_raises(self):
         core = TraceCore(0, _trace([TraceEntry(0, 0, 1)]))

@@ -1,0 +1,76 @@
+"""Unit tests for event-loop details of the simulated system.
+
+The end-to-end behavior is covered by the integration and property
+suites; these tests pin down the bank-event scheduling corner cases.
+"""
+
+from repro.sim.system import SimulatedSystem, simulate
+from repro.workloads.trace import CoreTrace, TraceEntry
+
+
+class _AbstainingScheduler:
+    """A scheduler that never picks, forcing the fallback path."""
+
+    name = "abstain"
+
+    def pick(self, queue, open_row, cycle, release_of):
+        return None
+
+    def on_served(self, core, cycle, contended=True):
+        pass
+
+
+def _traces(num_cores=2, requests=20):
+    return [
+        CoreTrace(
+            name=f"c{core}",
+            entries=[
+                TraceEntry(gap_cycles=1, bank_index=0, row=i, instructions=2)
+                for i in range(requests)
+            ],
+        )
+        for core in range(num_cores)
+    ]
+
+
+class TestSchedulerAbstentionFallback:
+    def test_all_requests_complete_without_scheduler(self):
+        system = SimulatedSystem(_traces())
+        system._schedulers = [
+            _AbstainingScheduler() for _ in system._schedulers
+        ]
+        result = system.run()
+        assert result.total_cycles > 0
+        assert sum(system._core_served) == 2 * 20
+
+    def test_fallback_skips_throttled_head_of_queue(self):
+        """A throttled queue[0] must not starve released requests."""
+        system = SimulatedSystem(_traces(num_cores=1, requests=2))
+        system._schedulers = [
+            _AbstainingScheduler() for _ in system._schedulers
+        ]
+        controller = system.banks[0]
+        first = system._make_request(0, 0, system.cores[0].trace.entries[0])
+        second = system._make_request(0, 1, system.cores[0].trace.entries[1])
+        controller.queue.extend([first, second])
+
+        original = controller.throttle_release
+
+        def throttle(request, cycle):
+            if request is first:
+                return cycle + 10_000  # head of queue is throttled
+            return original(request, cycle)
+
+        controller.throttle_release = throttle
+        system._bank_event(0, 100)
+        # The released request (index 1) was served; the throttled head
+        # is still queued, and a retry is scheduled rather than a spin.
+        assert controller.queue == [first]
+        assert system._core_served[0] == 1
+
+
+class TestSimulateEntryPoint:
+    def test_simulate_runs_once(self):
+        result = simulate(_traces(num_cores=1, requests=4))
+        assert result.total_cycles > 0
+        assert result.per_core_instructions == [8]
