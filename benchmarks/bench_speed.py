@@ -1,0 +1,52 @@
+"""Standalone simulator speed benchmark (see src/repro/speed.py).
+
+Times `simulate()` over representative workload x scheme pairs and
+appends a labelled entry to the ``BENCH_SIM_SPEED.json`` trajectory at
+the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py --preset medium \
+        --label optimized
+
+Unlike the figure benches in this directory, this file is not a pytest
+bench: it owns wall-clock, not statistics, and a one-shot script keeps
+the timed region free of harness overhead.  The `repro bench-speed`
+CLI subcommand is the same harness for installed use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.speed import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_OUTPUT,
+    preset_names,
+    run_and_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=preset_names(), default="medium")
+    parser.add_argument("--label", default="dev",
+                        help="entry label (e.g. baseline / optimized)")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / DEFAULT_OUTPUT),
+        help="trajectory file to append to ('-' disables recording)",
+    )
+    args = parser.parse_args(argv)
+    run_and_report(
+        args.preset,
+        args.label,
+        output=None if args.output == "-" else Path(args.output),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ safety <scheme>     Replay an attack against a scheme and report.
 configure           Print safe Mithril configurations for a FlipTH.
 schemes             List registered protection schemes.
 cache               Show (or clear) the simulation result cache.
+bench-speed         Time simulate() on a preset; append to the
+                    BENCH_SIM_SPEED.json speed trajectory.
+profile             cProfile one workload x scheme simulation.
 """
 
 from __future__ import annotations
@@ -124,6 +127,40 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench_speed(args) -> int:
+    from repro.speed import run_and_report
+
+    run_and_report(
+        args.preset,
+        args.label,
+        output=None if args.output == "-" else args.output,
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from repro.engine.executor import materialize_job
+    from repro.engine.job import SimJob, WorkloadSpec
+    from repro.sim.system import simulate
+
+    spec = WorkloadSpec.make(args.workload, scale=args.scale)
+    job = SimJob(workload=spec, scheme=args.scheme, flip_th=args.flip_th,
+                 scale=args.scale)
+    traces, factory, config, rfm_th = materialize_job(job)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate(traces, scheme_factory=factory, config=config, rfm_th=rfm_th,
+             flip_th=job.flip_th, mlp=job.mlp,
+             track_hammer=job.track_hammer, max_cycles=job.max_cycles)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 _ATTACKS = {
     "double-sided": lambda acts: double_sided_stream(1000, acts),
     "many-sided": lambda acts: many_sided_stream(33, acts),
@@ -216,6 +253,32 @@ def main(argv=None) -> int:
     p_cache.add_argument("--clear", action="store_true",
                          help="delete every cached result")
     p_cache.set_defaults(func=_cmd_cache)
+
+    from repro.speed import preset_names
+
+    p_bench = sub.add_parser(
+        "bench-speed", help="time simulate() and record the trajectory"
+    )
+    p_bench.add_argument("--preset", choices=preset_names(),
+                         default="tiny")
+    p_bench.add_argument("--label", default="dev",
+                         help="entry label (e.g. baseline / optimized)")
+    p_bench.add_argument("--output", default="BENCH_SIM_SPEED.json",
+                         help="trajectory file to append to ('-' = none)")
+    p_bench.set_defaults(func=_cmd_bench_speed)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile one workload x scheme simulation"
+    )
+    p_prof.add_argument("--workload", default="mix-high")
+    p_prof.add_argument("--scheme", default="mithril")
+    p_prof.add_argument("--scale", type=float, default=1.0)
+    p_prof.add_argument("--flip-th", type=int, default=6_250)
+    p_prof.add_argument("--sort", default="cumulative",
+                        help="pstats sort key (cumulative/tottime/...)")
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="number of rows to print")
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_safe = sub.add_parser("safety", help="replay an attack")
     p_safe.add_argument("scheme", choices=scheme_names())

@@ -81,6 +81,11 @@ class MithrilTable:
             raise ValueError(f"n_entries must be positive, got {n_entries}")
         self.n_entries = n_entries
         self.counter_bits = counter_bits
+        #: hardware wrapping-counter window (None = unchecked); hoisted
+        #: out of the per-ACT path.
+        self._wrap_window = (
+            None if counter_bits is None else 1 << (counter_bits - 1)
+        )
         self._summary = CounterSummary(capacity=n_entries)
         self._max_spread_seen = 0
 
@@ -92,14 +97,13 @@ class MithrilTable:
         spread = self.spread()
         if spread > self._max_spread_seen:
             self._max_spread_seen = spread
-        if self.counter_bits is not None:
+        window = self._wrap_window
+        if window is not None and spread >= window:
             # Hardware-implementability invariant for the wrapping counter.
-            window = 1 << (self.counter_bits - 1)
-            if spread >= window:
-                raise OverflowError(
-                    f"counter spread {spread} exceeds wrapping window "
-                    f"{window}; counter_bits={self.counter_bits} too small"
-                )
+            raise OverflowError(
+                f"counter spread {spread} exceeds wrapping window "
+                f"{window}; counter_bits={self.counter_bits} too small"
+            )
 
     # -- RFM path -------------------------------------------------------
 

@@ -17,7 +17,7 @@ from typing import Deque, Optional
 from repro.params import DramTimings
 
 
-@dataclass
+@dataclass(slots=True)
 class BankServiceResult:
     """Outcome of serving one column access on a bank."""
 
@@ -86,7 +86,10 @@ class BankTimingModel:
         Returns the timing outcome; the caller updates bus bookkeeping
         with ``data_cycle``.
         """
-        start = max(cycle, self.ready_cycle)
+        # if/else instead of max(): this runs once per served request
+        # and the branches beat builtin calls by a measurable margin.
+        ready = self.ready_cycle
+        start = cycle if cycle > ready else ready
         activated = False
         precharged = False
         if self.open_row == row:
@@ -96,12 +99,16 @@ class BankTimingModel:
             row_hit = False
             if self.open_row is not None:
                 # close the open row first
-                start = max(start, self._last_act_cycle + self._tras)
+                earliest_pre = self._last_act_cycle + self._tras
+                if earliest_pre > start:
+                    start = earliest_pre
                 start += self._trp
                 precharged = True
                 self.pre_count += 1
-            act_cycle = max(start, act_not_before)
-            act_cycle = max(act_cycle, self._last_act_cycle + self._trc)
+            act_cycle = start if start > act_not_before else act_not_before
+            earliest_act = self._last_act_cycle + self._trc
+            if earliest_act > act_cycle:
+                act_cycle = earliest_act
             if self.faw is not None:
                 act_cycle = self.faw.earliest_act(act_cycle)
                 self.faw.record_act(act_cycle)
@@ -110,11 +117,15 @@ class BankTimingModel:
             activated = True
             self.open_row = row
             column_issue = act_cycle + self._trcd
-        data_start = max(column_issue + self._tcl, bus_free_cycle)
+        data_start = column_issue + self._tcl
+        if bus_free_cycle > data_start:
+            data_start = bus_free_cycle
         data_cycle = data_start + self._tbl
         self.access_count += 1
         if close_after:
-            pre_at = max(column_issue, self._last_act_cycle + self._tras)
+            pre_at = self._last_act_cycle + self._tras
+            if column_issue > pre_at:
+                pre_at = column_issue
             self.ready_cycle = pre_at + self._trp
             self.open_row = None
             self.pre_count += 1

@@ -54,16 +54,19 @@ class HammerModel:
 
     def on_activate(self, row: int, cycle: int = 0) -> None:
         """Register the disturbance one ACT causes on neighbouring rows."""
+        disturbance = self._disturbance
+        rows_per_bank = self.rows_per_bank
+        flip_th = self.flip_th
         for distance, weight in enumerate(self.blast_weights, start=1):
             for victim in (row - distance, row + distance):
-                if not 0 <= victim < self.rows_per_bank:
+                if not 0 <= victim < rows_per_bank:
                     continue
-                level = self._disturbance.get(victim, 0.0) + weight
-                self._disturbance[victim] = level
+                level = disturbance.get(victim, 0.0) + weight
+                disturbance[victim] = level
                 if level > self.max_disturbance:
                     self.max_disturbance = level
                     self.max_disturbance_row = victim
-                if level >= self.flip_th:
+                if level >= flip_th:
                     self.flips.append(
                         FlipEvent(
                             cycle=cycle,

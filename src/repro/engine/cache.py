@@ -5,9 +5,13 @@ Completed simulation points are stored as JSON under::
     <cache dir>/<code version>/<job hash>.json
 
 The *code version* is a hash over every ``*.py`` file of the ``repro``
-package, so any change to the simulator, the schemes, or the workload
-generators silently invalidates old entries — a stale cache can never
-masquerade as a fresh result.  The cache directory defaults to
+package plus an explicit schema salt, so any change to the simulator,
+the schemes, or the workload generators silently invalidates old
+entries — a stale cache can never masquerade as a fresh result.  The
+salt (:data:`CACHE_SCHEMA_SALT`) exists for deliberate bumps: the
+hot-path overhaul bumped it to retire every warm cache written by the
+pre-optimization simulator, even for users running an identical source
+tree from a different install path.  The cache directory defaults to
 ``~/.cache/repro/sim`` and is overridden by the ``REPRO_CACHE_DIR``
 environment variable (tests point it at a tmpdir).
 
@@ -31,6 +35,12 @@ from repro.types import EnergyCounts
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Deliberate cache-generation bump, folded into :func:`code_version`.
+#: v2: simulator hot-path overhaul (zero-alloc event loop, incremental
+#: schedulers, array-backed sketches) — results are byte-identical,
+#: but pre-overhaul entries must not satisfy post-overhaul jobs.
+CACHE_SCHEMA_SALT = "v2-hotpath"
+
 _code_version: Optional[str] = None
 
 
@@ -49,6 +59,8 @@ def code_version() -> str:
 
         package_root = Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
+        digest.update(CACHE_SCHEMA_SALT.encode())
+        digest.update(b"\0")
         for path in sorted(package_root.rglob("*.py")):
             digest.update(path.relative_to(package_root).as_posix().encode())
             digest.update(b"\0")

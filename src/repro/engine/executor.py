@@ -42,16 +42,29 @@ class RunStats:
     n_jobs: int = 1       #: worker processes used
 
 
+def materialize_job(job: SimJob):
+    """(traces, scheme factory, config, rfm_th) for one job.
+
+    The single build path shared by the executor, the speed bench
+    (:mod:`repro.speed`) and ``repro profile`` — callers that time or
+    profile ``simulate()`` separately from workload construction must
+    still build exactly what :func:`run_jobs` executes.
+    """
+    traces = build_workload(job.workload)
+    factory, rfm_th = scheme_factory_for(job)
+    config = build_config(job.config_overrides)
+    return traces, factory, config, rfm_th
+
+
 def execute_job(job: SimJob) -> SimulationResult:
     """Materialize and run one job (also the worker-process entry)."""
     from repro.sim.system import simulate
 
-    traces = build_workload(job.workload)
-    factory, rfm_th = scheme_factory_for(job)
+    traces, factory, config, rfm_th = materialize_job(job)
     return simulate(
         traces,
         scheme_factory=factory,
-        config=build_config(job.config_overrides),
+        config=config,
         rfm_th=rfm_th,
         flip_th=job.flip_th,
         mlp=job.mlp,

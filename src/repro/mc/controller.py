@@ -79,12 +79,32 @@ class BankController:
         self.rfm_stall_cycles = 0
         self.refresh_stall_cycles = 0
 
+    def never_throttles(self) -> bool:
+        """True when ``throttle_release`` is the inherited no-op.
+
+        The event loop then skips release bookkeeping entirely.
+        Evaluated live (not cached at construction) so that a
+        ``throttle_release`` override installed anywhere — a
+        BankController subclass or class-level patch, this controller
+        instance, the scheme class, or the scheme instance — is
+        always honored.
+        """
+        return (
+            type(self).throttle_release is BankController.throttle_release
+            and type(self.scheme).throttle_release
+            is ProtectionScheme.throttle_release
+            and "throttle_release" not in self.scheme.__dict__
+            and "throttle_release" not in self.__dict__
+        )
+
     # ------------------------------------------------------------------
     # refresh
     # ------------------------------------------------------------------
 
     def advance_refresh(self, cycle: int) -> None:
         """Apply every auto-refresh tick due at or before ``cycle``."""
+        if cycle < self.refresh.next_tick_cycle:
+            return  # fast path: this runs once per served request
         for tick_cycle, first_row, last_row in self.refresh.drain_due(cycle):
             before = self.bank.ready_cycle
             self.bank.block_for(tick_cycle, self._trfc_cycles)

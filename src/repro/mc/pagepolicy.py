@@ -55,7 +55,10 @@ class MinimalistOpenPolicy:
     ) -> bool:
         if consecutive_hits >= self.burst_limit:
             return True
-        return not any(request.address.row == row for request in queue)
+        for request in queue:  # plain loop: runs once per served request
+            if request.address.row == row:
+                return False
+        return True
 
 
 def make_page_policy(name: str):

@@ -32,21 +32,36 @@ class FrFcfsScheduler:
 
         ``release_of(request)`` gives the earliest cycle the request's
         ACT may happen (RowHammer throttling); requests not yet released
-        are skipped while any released request exists.
+        are skipped while any released request exists.  ``release_of``
+        may be None, meaning every request is released (the event loop
+        passes None for schemes that cannot throttle).
+
+        Selection order — released first, then row hits, then oldest —
+        is implemented as a two-tier scan (hit / miss among released
+        candidates) rather than a per-request sort key: throttled
+        requests never beat released ones, so they are simply skipped,
+        and ties on arrival keep the lowest index, exactly as the
+        historical lexicographic tuple compare did.
         """
-        best_index = None
-        best_key = None
+        best_hit = None
+        best_hit_arrival = 0
+        best_miss = None
+        best_miss_arrival = 0
+        match_row = open_row is not None
         for index, request in enumerate(queue):
-            released = release_of(request) <= cycle
-            row_hit = open_row is not None and request.address.row == open_row
-            # released first, then row hits, then oldest
-            key = (not released, not row_hit, request.arrival_cycle)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_index = index
-        if best_key is not None and best_key[0]:
-            return None  # every candidate is throttled
-        return best_index
+            if release_of is not None and release_of(request) > cycle:
+                continue
+            arrival = request.arrival_cycle
+            if match_row and request.address.row == open_row:
+                if best_hit is None or arrival < best_hit_arrival:
+                    best_hit = index
+                    best_hit_arrival = arrival
+            elif best_miss is None or arrival < best_miss_arrival:
+                best_miss = index
+                best_miss_arrival = arrival
+        if best_hit is not None:
+            return best_hit
+        return best_miss  # None when every candidate is throttled
 
     def on_served(
         self, core: int, cycle: int, contended: bool = True
@@ -80,19 +95,31 @@ class BlissScheduler:
         cycle: int,
         release_of,
     ) -> Optional[int]:
+        # Priority among released candidates: (blacklisted, row miss)
+        # packs into a 4-level tier — non-blacklisted row hit (0) down
+        # to blacklisted row miss (3) — then oldest-first within a
+        # tier; throttled requests are skipped entirely (they never
+        # beat a released one).  Equivalent to the historical
+        # (not released, listed, not hit, arrival) tuple compare.
         best_index = None
-        best_key = None
+        best_tier = 4
+        best_arrival = 0
+        match_row = open_row is not None
+        blacklist = self._blacklist_until
         for index, request in enumerate(queue):
-            released = release_of(request) <= cycle
-            row_hit = open_row is not None and request.address.row == open_row
-            listed = self._blacklisted(request.core, cycle)
-            key = (not released, listed, not row_hit, request.arrival_cycle)
-            if best_key is None or key < best_key:
-                best_key = key
+            if release_of is not None and release_of(request) > cycle:
+                continue
+            tier = 2 if blacklist.get(request.core, -1) > cycle else 0
+            if not (match_row and request.address.row == open_row):
+                tier += 1
+            arrival = request.arrival_cycle
+            if tier < best_tier or (
+                tier == best_tier and arrival < best_arrival
+            ):
                 best_index = index
-        if best_key is not None and best_key[0]:
-            return None  # every candidate is throttled
-        return best_index
+                best_tier = tier
+                best_arrival = arrival
+        return best_index  # None when every candidate is throttled
 
     def on_served(
         self, core: int, cycle: int, contended: bool = True

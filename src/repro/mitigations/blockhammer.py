@@ -86,8 +86,7 @@ class BlockHammerScheme(ProtectionScheme):
 
     def on_activate(self, row: int, cycle: int) -> List[int]:
         self.stats.acts_observed += 1
-        self.cbf.observe(row)
-        if self.cbf.estimate(row) >= self.n_bl:
+        if self.cbf.observe_and_estimate(row) >= self.n_bl:
             if row not in self._release:
                 self.blacklisted_rows_seen += 1
             self._release[row] = cycle + self.delay_cycles

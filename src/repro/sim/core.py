@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.workloads.trace import CoreTrace, TraceEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceCore:
     """Replay state for one core."""
 
@@ -38,17 +38,18 @@ class TraceCore:
 
     def issue(self, cycle: int) -> TraceEntry:
         """Consume the next trace entry at ``cycle``."""
-        entry = self.trace.entries[self.index]
-        self.index += 1
+        entries = self.trace.entries
+        index = self.index
+        entry = entries[index]
+        index += 1
+        self.index = index
         if entry.is_write:
             self.writes_issued += 1
         else:
             self.reads_issued += 1
             self.outstanding_reads += 1
-        gap = 0
-        if not self.done_issuing():
-            gap = self.trace.entries[self.index].gap_cycles
-        self.next_issue_cycle = cycle + max(1, gap)
+        gap = entries[index].gap_cycles if index < len(entries) else 0
+        self.next_issue_cycle = cycle + (gap if gap > 1 else 1)
         return entry
 
     def on_read_complete(self, cycle: int) -> None:

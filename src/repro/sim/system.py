@@ -11,12 +11,35 @@ The event loop carries three event kinds:
 Banks serve one request at a time; the per-bank
 :class:`~repro.mc.controller.BankController` folds in auto-refresh,
 RFM issue, ARR stalls, throttling and the RowHammer fault model.
+
+Hot-path notes
+--------------
+Wall-clock per event bounds how many sweep points the reproduction can
+cover, so the loop avoids per-event allocation and recomputation:
+
+* heap entries are single integers — ``(cycle, seq)`` packed above a
+  small kind/ident field — so ``heappush``/``heappop`` compare ints
+  instead of tuples while preserving the exact (cycle, seq) FIFO order
+  of the historical string-kind tuples;
+* the per-flat-bank ``(channel, rank, bank)`` decode table and each
+  trace's normalized flat bank indices are computed once in
+  ``__init__``, and :class:`~repro.types.RowAddress` instances are
+  interned per (bank, row) — ``_make_request`` does no organization
+  math at all;
+* ``_bank_event`` memoizes ``throttle_release`` per request for the
+  duration of one event (the release cannot change until a request is
+  served), serves single-request queues without consulting the
+  scheduler, and tracks a per-queue core-occupancy count so BLISS's
+  "contended" bit costs O(1) instead of an O(queue) scan.
+
+All of this is behavior-preserving: the golden-equivalence suite pins
+results to the pre-optimization simulator byte for byte.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.dram.bank import FawTracker
 from repro.mc.controller import BankController, ChannelState
@@ -28,6 +51,22 @@ from repro.sim.core import TraceCore
 from repro.sim.metrics import SimulationResult
 from repro.types import BankAddress, EnergyCounts, MemoryRequest, RowAddress
 from repro.workloads.trace import CoreTrace
+
+#: Event kinds, encoded as integers in the heap key (historically the
+#: strings "issue" / "bank" / "complete"; the unique ``seq`` means the
+#: kind never participates in ordering, so the encoding is free).
+_ISSUE, _BANK, _COMPLETE = 0, 1, 2
+
+#: Heap-key layout: cycle | seq (40 bits) | kind (2 bits) | ident
+#: (20 bits).  Python ints are unbounded, so large cycle counts simply
+#: grow the key; ``seq`` at 40 bits allows ~10^12 events per run and
+#: ``_push`` raises rather than letting it bleed into the cycle bits.
+_SEQ_BITS = 40
+_SEQ_LIMIT = 1 << _SEQ_BITS
+_LOW_BITS = 22                     # kind + ident
+_IDENT_BITS = 20
+_IDENT_MASK = (1 << _IDENT_BITS) - 1
+_CYCLE_SHIFT = _SEQ_BITS + _LOW_BITS
 
 
 class SimulatedSystem:
@@ -52,6 +91,11 @@ class SimulatedSystem:
         ]
         org = config.organization
         self.num_banks = org.total_banks
+        if self.num_banks > _IDENT_MASK or len(self.cores) > _IDENT_MASK:
+            raise ValueError(
+                f"heap-key ident field supports up to {_IDENT_MASK} "
+                f"banks/cores"
+            )
         banks_per_channel = org.ranks_per_channel * org.banks_per_rank
         timings = config.timings
         self._channels = [
@@ -80,8 +124,38 @@ class SimulatedSystem:
         self._bank_channel = [
             flat // banks_per_channel for flat in range(self.num_banks)
         ]
+        # Flat-index -> BankAddress decode table: the organization math
+        # happens once here instead of once per request.
+        self._bank_address = [
+            BankAddress(
+                flat // banks_per_channel,
+                (flat % banks_per_channel) // org.banks_per_rank,
+                flat % org.banks_per_rank,
+            )
+            for flat in range(self.num_banks)
+        ]
+        #: Interned RowAddress per (flat bank, row); rows repeat heavily
+        #: (row-buffer locality), so most requests reuse an instance.
+        self._row_address: List[Dict[int, RowAddress]] = [
+            {} for _ in range(self.num_banks)
+        ]
+        # Per-trace normalized flat bank index, one entry per request:
+        # `entry.bank_index % num_banks` is evaluated once per trace
+        # entry here and never in the issue path.
+        num_banks = self.num_banks
+        self._core_flats = [
+            [entry.bank_index % num_banks for entry in trace.entries]
+            for trace in traces
+        ]
         self._bank_scheduled = [False] * self.num_banks
-        self._heap: List[Tuple[int, int, str, int]] = []
+        # Per-bank queue occupancy by core (the scheduler's "contended"
+        # bit) plus the queue length it was built against; an external
+        # queue mutation (tests do this) is caught by the length guard.
+        self._queue_cores: List[Dict[int, int]] = [
+            {} for _ in range(self.num_banks)
+        ]
+        self._queue_len = [0] * self.num_banks
+        self._heap: List[int] = []
         self._seq = 0
         self._core_last_completion = [0] * len(self.cores)
         self._core_served = [0] * len(self.cores)
@@ -91,19 +165,30 @@ class SimulatedSystem:
 
     # ------------------------------------------------------------------
 
-    def _push(self, cycle: int, kind: str, ident: int) -> None:
+    def _push(self, cycle: int, kind: int, ident: int) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (cycle, self._seq, kind, ident))
+        if self._seq >= _SEQ_LIMIT:
+            raise OverflowError(
+                f"event sequence exceeded {_SEQ_LIMIT} (heap-key seq field)"
+            )
+        heapq.heappush(
+            self._heap,
+            (((cycle << _SEQ_BITS) | self._seq) << _LOW_BITS)
+            | (kind << _IDENT_BITS)
+            | ident,
+        )
 
-    def _make_request(self, core_id: int, cycle: int, entry) -> MemoryRequest:
-        org = self.config.organization
-        banks_per_channel = org.ranks_per_channel * org.banks_per_rank
-        flat = entry.bank_index % self.num_banks
-        channel = flat // banks_per_channel
-        within = flat % banks_per_channel
-        rank = within // org.banks_per_rank
-        bank = within % org.banks_per_rank
-        address = RowAddress(BankAddress(channel, rank, bank), entry.row)
+    def _make_request(
+        self, core_id: int, cycle: int, entry, flat: Optional[int] = None
+    ) -> MemoryRequest:
+        if flat is None:  # compatibility path for direct callers
+            flat = entry.bank_index % self.num_banks
+        row = entry.row
+        interned = self._row_address[flat]
+        address = interned.get(row)
+        if address is None:
+            address = RowAddress(self._bank_address[flat], row)
+            interned[row] = address
         return MemoryRequest(
             core=core_id,
             arrival_cycle=cycle,
@@ -117,78 +202,158 @@ class SimulatedSystem:
     # ------------------------------------------------------------------
 
     def _try_issue(self, core: TraceCore, cycle: int) -> None:
-        while not core.done_issuing():
+        core_id = core.core_id
+        entries = core.trace.entries
+        total = len(entries)
+        flats = self._core_flats[core_id]
+        banks = self.banks
+        queue_cores = self._queue_cores
+        queue_len = self._queue_len
+        scheduled = self._bank_scheduled
+        mlp = core.mlp
+        while core.index < total:
             if cycle < core.next_issue_cycle:
-                self._push(core.next_issue_cycle, "issue", core.core_id)
+                self._push(core.next_issue_cycle, _ISSUE, core_id)
                 return
-            entry = core.peek()
-            if not entry.is_write and core.outstanding_reads >= core.mlp:
+            index = core.index
+            entry = entries[index]
+            if not entry.is_write and core.outstanding_reads >= mlp:
                 core.stalled_on_mlp = True
                 return
+            flat = flats[index]
             entry = core.issue(cycle)
-            request = self._make_request(core.core_id, cycle, entry)
-            flat = entry.bank_index % self.num_banks
-            self.banks[flat].queue.append(request)
-            if not self._bank_scheduled[flat]:
-                self._bank_scheduled[flat] = True
-                start = max(cycle, self.banks[flat].bank.ready_cycle)
-                self._push(start, "bank", flat)
+            request = self._make_request(core_id, cycle, entry, flat)
+            controller = banks[flat]
+            controller.queue.append(request)
+            occupancy = queue_cores[flat]
+            occupancy[core_id] = occupancy.get(core_id, 0) + 1
+            queue_len[flat] += 1
+            if not scheduled[flat]:
+                scheduled[flat] = True
+                ready = controller.bank.ready_cycle
+                self._push(ready if ready > cycle else cycle, _BANK, flat)
 
     def _bank_event(self, flat: int, cycle: int) -> None:
         self._bank_scheduled[flat] = False
         controller = self.banks[flat]
         queue = controller.queue
-        if not queue:
+        qlen = len(queue)
+        if not qlen:
             return
+
+        # One bank event consults the throttle release of each queued
+        # request up to three times (scheduler pick, the chosen
+        # request, the retry minimum).  The release cannot change
+        # within the event, so memoize it — keyed by request identity,
+        # not row, so an override that inspects other request fields
+        # (the hook receives the full request) stays exact — and when
+        # the scheme keeps the default no-op throttle hook
+        # (``never_throttles()`` checks live, so monkeypatches at any
+        # level are honored), skip the bookkeeping entirely by handing
+        # the scheduler ``None`` ("everything is released").
+        if controller.never_throttles():
+            release_of = None
+        else:
+            throttle = controller.throttle_release
+            memo: Dict[int, int] = {}
+
+            def release_of(request: MemoryRequest) -> int:
+                key = id(request)
+                release = memo.get(key)
+                if release is None:
+                    release = memo[key] = throttle(request, cycle)
+                return release
+
+        # Resync the per-queue core-occupancy map when the queue was
+        # mutated behind the issue path (tests inject or remove
+        # requests directly); the length guard catches every external
+        # edit except a same-length in-place swap, which nothing does.
+        occupancy = self._queue_cores[flat]
+        if self._queue_len[flat] != qlen:
+            occupancy.clear()
+            for queued in queue:
+                occupancy[queued.core] = occupancy.get(queued.core, 0) + 1
+            self._queue_len[flat] = qlen
+
         scheduler = self._schedulers[self._bank_channel[flat]]
-
-        def release_of(request: MemoryRequest) -> int:
-            return controller.throttle_release(request, cycle)
-
-        index = scheduler.pick(queue, controller.bank.open_row, cycle, release_of)
-        abstained = index is None
-        if abstained:
-            # Scheduler abstained: fall back to the candidate whose
-            # throttle releases first (oldest on ties).  The shipped
-            # schedulers abstain only when every candidate is
-            # throttled, but the Scheduler contract allows abstaining
-            # for any reason, so the fallback must still be able to
-            # serve a released request.
-            index = min(
-                range(len(queue)),
-                key=lambda i: (release_of(queue[i]), queue[i].arrival_cycle),
+        if qlen == 1:
+            # Single-candidate fast path: any scheduler either picks it
+            # or abstains, and the abstain fallback picks it anyway.
+            index = 0
+            request = queue[0]
+            if release_of is not None:
+                release = release_of(request)
+                if release > cycle:
+                    self._bank_scheduled[flat] = True
+                    self._push(
+                        release if release > cycle + 1 else cycle + 1,
+                        _BANK, flat,
+                    )
+                    return
+            contended = False
+        else:
+            index = scheduler.pick(
+                queue, controller.bank.open_row, cycle, release_of
             )
-        request = queue[index]
-        release = release_of(request)
-        if release > cycle:
-            # Every candidate is throttled; retry at the earliest
-            # release (on the abstain path the chosen request already
-            # holds the queue minimum).
-            earliest = (
-                release if abstained
-                else min(release_of(r) for r in queue)
-            )
-            self._bank_scheduled[flat] = True
-            self._push(max(earliest, cycle + 1), "bank", flat)
-            return
-        contended = any(r.core != request.core for r in queue)
+            abstained = index is None
+            if abstained:
+                # Scheduler abstained: fall back to the candidate whose
+                # throttle releases first (oldest on ties).  The shipped
+                # schedulers abstain only when every candidate is
+                # throttled, but the Scheduler contract allows
+                # abstaining for any reason, so the fallback must still
+                # be able to serve a released request.
+                if release_of is None:
+                    index = min(
+                        range(qlen),
+                        key=lambda i: queue[i].arrival_cycle,
+                    )
+                else:
+                    index = min(
+                        range(qlen),
+                        key=lambda i: (release_of(queue[i]),
+                                       queue[i].arrival_cycle),
+                    )
+            request = queue[index]
+            if release_of is not None:
+                release = release_of(request)
+                if release > cycle:
+                    # Every candidate is throttled; retry at the
+                    # earliest release (on the abstain path the chosen
+                    # request already holds the queue minimum).
+                    earliest = (
+                        release if abstained
+                        else min(release_of(r) for r in queue)
+                    )
+                    self._bank_scheduled[flat] = True
+                    self._push(max(earliest, cycle + 1), _BANK, flat)
+                    return
+            contended = qlen > occupancy.get(request.core, 0)
+        core_id = request.core
         queue.pop(index)
+        count = occupancy.get(core_id, 1) - 1
+        if count:
+            occupancy[core_id] = count
+        else:
+            occupancy.pop(core_id, None)
+        self._queue_len[flat] = qlen - 1
         result = controller.serve(request, cycle)
-        scheduler.on_served(request.core, cycle, contended=contended)
+        scheduler.on_served(core_id, cycle, contended=contended)
         if result.row_hit:
             self.row_hits += 1
         else:
             self.row_misses += 1
-        core_id = request.core
-        if request.is_read:
-            self._push(result.data_cycle, "complete", core_id)
+        data_cycle = result.data_cycle
+        if not request.is_write:
+            self._push(data_cycle, _COMPLETE, core_id)
         self._core_served[core_id] += 1
-        if result.data_cycle > self._core_last_completion[core_id]:
-            self._core_last_completion[core_id] = result.data_cycle
-        if queue:
+        if data_cycle > self._core_last_completion[core_id]:
+            self._core_last_completion[core_id] = data_cycle
+        if qlen > 1:
             self._bank_scheduled[flat] = True
+            ready = controller.bank.ready_cycle
             self._push(
-                max(controller.bank.ready_cycle, cycle + 1), "bank", flat
+                ready if ready > cycle + 1 else cycle + 1, _BANK, flat
             )
 
     def _complete_event(self, core_id: int, cycle: int) -> None:
@@ -204,18 +369,32 @@ class SimulatedSystem:
         if self._ran:
             raise RuntimeError("a SimulatedSystem can only run once")
         self._ran = True
+        heap = self._heap
+        # Batch the initial issue events: build the list once and
+        # heapify instead of N pushes (same (cycle, seq) order).
         for core in self.cores:
-            self._push(0, "issue", core.core_id)
-        while self._heap:
-            cycle, _seq, kind, ident = heapq.heappop(self._heap)
-            if max_cycles is not None and cycle > max_cycles:
+            self._seq += 1
+            heap.append((self._seq << _LOW_BITS) | core.core_id)
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        limit = float("inf") if max_cycles is None else max_cycles
+        cores = self.cores
+        try_issue = self._try_issue
+        bank_event = self._bank_event
+        complete_event = self._complete_event
+        while heap:
+            key = heappop(heap)
+            cycle = key >> _CYCLE_SHIFT
+            if cycle > limit:
                 break
-            if kind == "issue":
-                self._try_issue(self.cores[ident], cycle)
-            elif kind == "bank":
-                self._bank_event(ident, cycle)
+            kind = (key >> _IDENT_BITS) & 3
+            ident = key & _IDENT_MASK
+            if kind == _BANK:
+                bank_event(ident, cycle)
+            elif kind == _ISSUE:
+                try_issue(cores[ident], cycle)
             else:
-                self._complete_event(ident, cycle)
+                complete_event(ident, cycle)
         return self._collect()
 
     def _collect(self) -> SimulationResult:

@@ -1,0 +1,269 @@
+"""Simulator speed benchmark: the events/sec trajectory of `simulate()`.
+
+Wall-clock per simulated event is the binding constraint on how many
+workload x scheme x threshold points the reproduction can sweep, so
+this module times representative pairs and records the trajectory in
+``BENCH_SIM_SPEED.json``.  Each run appends one labelled entry::
+
+    {
+      "label": "optimized",          # e.g. "baseline" / "optimized"
+      "preset": "medium",
+      "timestamp": "2026-07-27T12:34:56Z",
+      "rows": [{"scheme", "workload", "events", "wall_s",
+                "events_per_sec"}, ...],
+      "total_events": ..., "total_wall_s": ...,
+      "aggregate_events_per_sec": ...
+    }
+
+Timing covers :func:`repro.sim.system.simulate` only — workload
+materialization and scheme-factory construction happen outside the
+timed region, mirroring what the engine executor amortizes away.
+
+Two presets:
+
+* ``tiny`` — a seconds-long smoke run for CI (timing non-gating there;
+  the determinism of the accompanying results is what CI asserts).
+* ``medium`` — the regression yardstick: a sweep large enough that
+  events/sec is stable run-to-run on an idle machine.
+
+Entry points: ``python -m repro.cli bench-speed`` and the standalone
+``benchmarks/bench_speed.py`` wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: (workload kind, workload params, scheme) pairs per preset.  The
+#: pairs cover the distinct hot paths: the bare event loop ("none"),
+#: CbS-tracker ARR (graphene), CbS + RFM (mithril/mithril+), and
+#: Bloom-filter throttling (blockhammer), on both multiprogrammed and
+#: multithreaded access patterns plus an attack mix.
+_PAIRS: Dict[str, List[Tuple[str, Dict[str, object], str]]] = {
+    "tiny": [
+        ("mix-high", {"seed": 11}, "none"),
+        ("mix-high", {"seed": 11}, "mithril"),
+        ("fft", {"seed": 21}, "graphene"),
+        ("attack", {"pattern": "multi-sided", "seed": 31}, "blockhammer"),
+    ],
+    "medium": [
+        ("mix-high", {"seed": 11}, "none"),
+        ("mix-high", {"seed": 11}, "mithril"),
+        ("mix-high", {"seed": 11}, "blockhammer"),
+        ("mix-blend", {"seed": 12}, "mithril+"),
+        ("fft", {"seed": 21}, "none"),
+        ("fft", {"seed": 21}, "graphene"),
+        ("radix", {"seed": 22}, "mithril"),
+        ("pagerank", {"seed": 23}, "blockhammer"),
+        ("attack", {"pattern": "multi-sided", "seed": 31}, "mithril"),
+        ("attack", {"pattern": "multi-sided", "seed": 31}, "blockhammer"),
+    ],
+}
+
+#: Trace-length multiplier per preset (catalog ``scale``).
+_PRESET_SCALE = {"tiny": 0.25, "medium": 1.0}
+
+#: FlipTH used for every pair (mid-range paper value).
+BENCH_FLIP_TH = 6_250
+
+DEFAULT_OUTPUT = "BENCH_SIM_SPEED.json"
+
+
+def preset_names() -> List[str]:
+    return sorted(_PAIRS)
+
+
+@dataclass
+class SpeedRow:
+    """One timed workload x scheme pair."""
+
+    scheme: str
+    workload: str
+    events: int
+    wall_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "events": self.events,
+            "wall_s": round(self.wall_s, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+
+
+def _bench_jobs(preset: str):
+    from repro.engine.job import SimJob, WorkloadSpec
+
+    scale = _PRESET_SCALE[preset]
+    jobs = []
+    for kind, params, scheme in _PAIRS[preset]:
+        spec = WorkloadSpec.make(kind, scale=scale, **params)
+        jobs.append(
+            SimJob(workload=spec, scheme=scheme, flip_th=BENCH_FLIP_TH,
+                   scale=scale)
+        )
+    return jobs
+
+
+def run_preset(preset: str) -> List[SpeedRow]:
+    """Time every pair of ``preset``; returns one row per pair.
+
+    The simulation *results* are intentionally discarded here — the
+    equivalence suite (tests/integration/test_golden_equivalence.py)
+    owns correctness; this harness owns wall-clock.
+    """
+    if preset not in _PAIRS:
+        raise ValueError(
+            f"unknown preset {preset!r}; use one of {preset_names()}"
+        )
+    from repro.engine.executor import materialize_job
+    from repro.sim.system import simulate
+
+    rows = []
+    for job in _bench_jobs(preset):
+        traces, factory, config, rfm_th = materialize_job(job)
+        events = sum(len(trace) for trace in traces)
+        start = time.perf_counter()
+        simulate(
+            traces,
+            scheme_factory=factory,
+            config=config,
+            rfm_th=rfm_th,
+            flip_th=job.flip_th,
+            mlp=job.mlp,
+            track_hammer=job.track_hammer,
+        )
+        wall = time.perf_counter() - start
+        rows.append(
+            SpeedRow(
+                scheme=job.scheme,
+                workload=job.workload.kind,
+                events=events,
+                wall_s=wall,
+            )
+        )
+    return rows
+
+
+def make_entry(preset: str, label: str, rows: List[SpeedRow]) -> Dict:
+    total_events = sum(row.events for row in rows)
+    total_wall = sum(row.wall_s for row in rows)
+    return {
+        "label": label,
+        "preset": preset,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": [row.as_dict() for row in rows],
+        "total_events": total_events,
+        "total_wall_s": round(total_wall, 4),
+        "aggregate_events_per_sec": (
+            round(total_events / total_wall, 1) if total_wall > 0 else 0.0
+        ),
+    }
+
+
+def append_entry(entry: Dict, output: Path) -> Dict:
+    """Append ``entry`` to the trajectory file (created when missing).
+
+    The write goes through a temp file + ``os.replace`` so an
+    interrupted run can never truncate the accumulated trajectory;
+    a file that is unreadable anyway is preserved under ``.corrupt``
+    (with a warning) rather than silently discarded.
+    """
+    import os
+    import warnings
+
+    record: Dict = {"entries": []}
+    if output.exists():
+        try:
+            loaded = json.loads(output.read_text())
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("entries"), list
+            ):
+                record = loaded
+        except ValueError:
+            backup = output.with_suffix(output.suffix + ".corrupt")
+            os.replace(output, backup)
+            warnings.warn(
+                f"speed trajectory {output} was not valid JSON; moved "
+                f"to {backup} and starting a fresh trajectory",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    record["entries"].append(entry)
+    tmp = output.with_suffix(f"{output.suffix}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(record, indent=2) + "\n")
+    os.replace(tmp, output)
+    return record
+
+
+def speedup_vs_label(record: Dict, entry: Dict, label: str) -> Optional[float]:
+    """entry's aggregate events/sec over the latest ``label`` entry."""
+    baselines = [
+        e
+        for e in record["entries"]
+        if e is not entry
+        and e.get("label") == label
+        and e.get("preset") == entry.get("preset")
+    ]
+    if not baselines:
+        return None
+    base = baselines[-1].get("aggregate_events_per_sec") or 0.0
+    if not base:
+        return None
+    return entry["aggregate_events_per_sec"] / base
+
+
+def run_and_report(
+    preset: str,
+    label: str,
+    output: Optional[Path] = None,
+) -> Dict:
+    """Run a preset, print the table, record and report the speedup.
+
+    The single driver behind both the ``repro bench-speed`` CLI
+    subcommand and ``benchmarks/bench_speed.py``.  ``output=None``
+    skips recording (measure-only runs).
+    """
+    rows = run_preset(preset)
+    entry = make_entry(preset, label, rows)
+    print(format_entry(entry))
+    if output is not None:
+        record = append_entry(entry, Path(output))
+        print(f"\nappended entry to {output}")
+        speedup = speedup_vs_label(record, entry, "baseline")
+        if speedup is not None:
+            print(f"speedup vs latest 'baseline' entry: {speedup:.2f}x")
+    return entry
+
+
+def format_entry(entry: Dict) -> str:
+    lines = [
+        f"preset={entry['preset']} label={entry['label']} "
+        f"({entry['timestamp']})",
+        f"{'workload':<12} {'scheme':<12} {'events':>8} {'wall s':>8} "
+        f"{'events/s':>10}",
+    ]
+    for row in entry["rows"]:
+        lines.append(
+            f"{row['workload']:<12} {row['scheme']:<12} "
+            f"{row['events']:>8} {row['wall_s']:>8.3f} "
+            f"{row['events_per_sec']:>10.0f}"
+        )
+    lines.append(
+        f"{'TOTAL':<25} {entry['total_events']:>8} "
+        f"{entry['total_wall_s']:>8.3f} "
+        f"{entry['aggregate_events_per_sec']:>10.0f}"
+    )
+    return "\n".join(lines)

@@ -56,13 +56,14 @@ class CounterSummary(FrequencyEstimator):
 
     def _observe_one(self, element: Hashable) -> None:
         self._total_observed += 1
-        current = self._counts.get(element)
+        counts = self._counts
+        current = counts.get(element)
         if current is not None:
             self._move(element, current, current + 1)
             return
-        if len(self._counts) < self.capacity:
+        if len(counts) < self.capacity:
             self._insert(element, 1)
-            if len(self._counts) == self.capacity:
+            if len(counts) == self.capacity:
                 self._min_count = min(self._buckets)
             return
         # Off-table replacement: evict one minimum-counter entry.
@@ -156,7 +157,12 @@ class CounterSummary(FrequencyEstimator):
 
     def _insert(self, element: Hashable, count: int) -> None:
         self._counts[element] = count
-        self._buckets.setdefault(count, set()).add(element)
+        buckets = self._buckets
+        bucket = buckets.get(count)
+        if bucket is None:
+            buckets[count] = {element}
+        else:
+            bucket.add(element)
         heapq.heappush(self._max_heap, (-count, element))
 
     def _remove(self, element: Hashable, count: int) -> None:
@@ -167,16 +173,20 @@ class CounterSummary(FrequencyEstimator):
             del self._buckets[count]
 
     def _move(self, element: Hashable, old: int, new: int) -> None:
-        bucket = self._buckets[old]
+        buckets = self._buckets
+        bucket = buckets[old]
         bucket.discard(element)
-        if not bucket:
-            del self._buckets[old]
-            if old == self._min_count and len(self._counts) - 1 >= 0:
-                pass  # min advanced below if needed
+        old_emptied = not bucket
+        if old_emptied:
+            del buckets[old]
         self._counts[element] = new
-        self._buckets.setdefault(new, set()).add(element)
+        bucket = buckets.get(new)
+        if bucket is None:
+            buckets[new] = {element}
+        else:
+            bucket.add(element)
         heapq.heappush(self._max_heap, (-new, element))
-        if old == self._min_count and old not in self._buckets:
+        if old_emptied and old == self._min_count:
             if new < old:
                 self._min_count = new
             else:

@@ -5,21 +5,41 @@ underestimates), which is why the paper notes it suits throttling-based
 schemes (BlockHammer) but cannot support Mithril's post-refresh
 decrement: there is no per-element upper bound, so an estimate cannot
 be safely reduced.
+
+Counter storage is one flat ``array('q')`` of ``depth * width`` cells
+(row-major) rather than a list of per-row Python lists: per-ACT
+updates touch one contiguous machine-typed buffer, and the per-row
+seed multiplications of the hash are precomputed so the hot loops run
+only the splitmix finalizer.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Hashable, List
 
 from repro.streaming.base import FrequencyEstimator
 
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN = 0x9E3779B97F4A7C15
+
 
 def _mix(value: int, seed: int) -> int:
     """Cheap 64-bit hash mix (splitmix64 finalizer variant)."""
-    x = (value ^ (seed * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x = (value ^ (seed * _GOLDEN)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+def premix_seeds(seed: int, count: int) -> List[int]:
+    """``seed * golden-ratio`` products for ``count`` consecutive seeds.
+
+    ``_mix(value, seed + i)`` equals the splitmix finalizer applied to
+    ``value ^ premix_seeds(seed, n)[i]``; precomputing the products
+    hoists one multiply out of every per-ACT probe.
+    """
+    return [((seed + i) * _GOLDEN) & _MASK64 for i in range(count)]
 
 
 class CountMinSketch(FrequencyEstimator):
@@ -31,30 +51,52 @@ class CountMinSketch(FrequencyEstimator):
         self.width = width
         self.depth = depth
         self._seed = seed
-        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        #: flat row-major counters: row ``r`` occupies cells
+        #: ``[r * width, (r + 1) * width)``.
+        self._cells = array("q", bytes(8 * width * depth))
+        self._row_seeds = premix_seeds(seed, depth)
         self._total = 0
 
     def _index(self, element: Hashable, row: int) -> int:
-        return _mix(hash(element) & 0xFFFFFFFFFFFFFFFF, self._seed + row) % self.width
+        return _mix(hash(element) & _MASK64, self._seed + row) % self.width
 
     def observe(self, element: Hashable, count: int = 1) -> None:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         self._total += count
-        for row in range(self.depth):
-            self._rows[row][self._index(element, row)] += count
+        base = hash(element) & _MASK64
+        cells = self._cells
+        width = self.width
+        offset = 0
+        for premixed in self._row_seeds:
+            x = base ^ premixed
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            x ^= x >> 31
+            cells[offset + x % width] += count
+            offset += width
 
     def estimate(self, element: Hashable) -> int:
-        return min(
-            self._rows[row][self._index(element, row)] for row in range(self.depth)
-        )
+        base = hash(element) & _MASK64
+        cells = self._cells
+        width = self.width
+        offset = 0
+        lowest = None
+        for premixed in self._row_seeds:
+            x = base ^ premixed
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            x ^= x >> 31
+            value = cells[offset + x % width]
+            if lowest is None or value < lowest:
+                lowest = value
+            offset += width
+        return lowest if lowest is not None else 0
 
     @property
     def total_observed(self) -> int:
         return self._total
 
     def reset(self) -> None:
-        for row in self._rows:
-            for i in range(self.width):
-                row[i] = 0
+        self._cells = array("q", bytes(8 * self.width * self.depth))
         self._total = 0

@@ -6,14 +6,29 @@ moment one filter is "active" (its content covers at least the last
 half epoch) while the other warms up.  Estimates are taken from the
 older filter, so a row's estimate covers the window relevant to the
 blacklist decision, and a full reset never forgets recent history.
+
+This is the single hottest tracker in the repo — BlockHammer probes
+both filters on *every* ACT — so the counters live in one flat
+``array('q')``, the per-probe seed products are precomputed, and the
+splitmix finalizer is inlined into the observe/estimate loops.  The
+dual filter additionally hashes each element once and reuses the probe
+indices across both filters and the estimate
+(:meth:`DualCountingBloomFilter.observe_and_estimate`).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Hashable, List
 
 from repro.streaming.base import FrequencyEstimator
-from repro.streaming.count_min import _mix
+from repro.streaming.count_min import _MASK64, premix_seeds
+
+#: Probe-index cache bound per filter.  Hot rows (the ones BlockHammer
+#: exists to catch) are re-probed constantly and win the cache; a
+#: scan-heavy workload past the bound just computes indices inline,
+#: capping worst-case memory at a few hundred KB per filter.
+_INDEX_CACHE_LIMIT = 8192
 
 
 class CountingBloomFilter(FrequencyEstimator):
@@ -32,32 +47,49 @@ class CountingBloomFilter(FrequencyEstimator):
         self.size = size
         self.num_hashes = num_hashes
         self._seed = seed
-        self._counters: List[int] = [0] * size
+        self._counters = array("q", bytes(8 * size))
+        self._probe_seeds = premix_seeds(seed, num_hashes)
+        #: element -> probe indices.  Indices depend only on (element,
+        #: seed), never on counter state, so entries survive resets;
+        #: growth is capped at :data:`_INDEX_CACHE_LIMIT` entries.
+        self._index_cache: dict = {}
         self._total = 0
 
     def _indices(self, element: Hashable) -> List[int]:
-        base = hash(element) & 0xFFFFFFFFFFFFFFFF
-        return [
-            _mix(base, self._seed + probe) % self.size
-            for probe in range(self.num_hashes)
-        ]
+        cache = self._index_cache
+        indices = cache.get(element)
+        if indices is None:
+            base = hash(element) & _MASK64
+            size = self.size
+            indices = []
+            for premixed in self._probe_seeds:
+                x = base ^ premixed
+                x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+                x ^= x >> 31
+                indices.append(x % size)
+            if len(cache) < _INDEX_CACHE_LIMIT:
+                cache[element] = indices
+        return indices
 
     def observe(self, element: Hashable, count: int = 1) -> None:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         self._total += count
+        counters = self._counters
         for index in self._indices(element):
-            self._counters[index] += count
+            counters[index] += count
 
     def estimate(self, element: Hashable) -> int:
-        return min(self._counters[index] for index in self._indices(element))
+        counters = self._counters
+        return min(counters[index] for index in self._indices(element))
 
     @property
     def total_observed(self) -> int:
         return self._total
 
     def reset(self) -> None:
-        self._counters = [0] * self.size
+        self._counters = array("q", bytes(8 * self.size))
         self._total = 0
 
 
@@ -92,12 +124,51 @@ class DualCountingBloomFilter(FrequencyEstimator):
     def observe(self, element: Hashable, count: int = 1) -> None:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
+        first, second = self._filters
+        # The probe indices depend only on the element, so hash once
+        # and reuse them for every repetition and both filters (a
+        # rotation clears counters but never moves cells).
+        indices_first = first._indices(element)
+        indices_second = second._indices(element)
         for _ in range(count):
-            self._filters[0].observe(element)
-            self._filters[1].observe(element)
+            counters = first._counters
+            for index in indices_first:
+                counters[index] += 1
+            first._total += 1
+            counters = second._counters
+            for index in indices_second:
+                counters[index] += 1
+            second._total += 1
             self._since_swap += 1
             if self._since_swap >= self.half_epoch:
                 self._rotate()
+
+    def observe_and_estimate(self, element: Hashable) -> int:
+        """One observation plus the post-observation estimate.
+
+        Semantically ``observe(element); return estimate(element)``,
+        but the element is hashed once instead of three times — this
+        is BlockHammer's per-ACT hot path.
+        """
+        first, second = self._filters
+        indices_first = first._indices(element)
+        indices_second = second._indices(element)
+        counters = first._counters
+        for index in indices_first:
+            counters[index] += 1
+        first._total += 1
+        counters = second._counters
+        for index in indices_second:
+            counters[index] += 1
+        second._total += 1
+        self._since_swap += 1
+        if self._since_swap >= self.half_epoch:
+            self._rotate()
+        if self._active == 0:
+            counters, indices = first._counters, indices_first
+        else:
+            counters, indices = second._counters, indices_second
+        return min(counters[index] for index in indices)
 
     def _rotate(self) -> None:
         self._since_swap = 0

@@ -19,7 +19,7 @@ class CommandKind(enum.Enum):
     ARR = "ARR"              #: legacy adjacent-row refresh (row-targeted)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class BankAddress:
     """Globally unique bank coordinate."""
 
@@ -31,7 +31,7 @@ class BankAddress:
         return (self.channel * ranks_per_channel + self.rank) * banks_per_rank + self.bank
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class RowAddress:
     """A DRAM row, identified by its bank and row index."""
 
@@ -46,9 +46,13 @@ class RowAddress:
         return RowAddress(self.bank, target)
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
-    """A post-LLC memory request as seen by the memory controller."""
+    """A post-LLC memory request as seen by the memory controller.
+
+    One instance is allocated per issued trace entry, so the class is
+    slotted: the event loop's allocation rate is dominated by these.
+    """
 
     core: int
     arrival_cycle: int
@@ -63,7 +67,7 @@ class MemoryRequest:
         return not self.is_write
 
 
-@dataclass
+@dataclass(slots=True)
 class PreventiveRefresh:
     """A preventive refresh performed for RowHammer protection.
 
@@ -85,7 +89,7 @@ class SchemeLocation(enum.Enum):
     BUFFER_CHIP = "buffer-chip"
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyCounts:
     """Event counts from which dynamic energy is derived."""
 

@@ -12,16 +12,17 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One memory request of a core trace.
 
     ``gap_cycles`` — memory-clock cycles of core work since the
     previous request was *issued* (the throughput model of the core).
     ``instructions`` — instructions retired in that gap, used for IPC.
+    Slotted: workloads hold hundreds of thousands of these.
     """
 
     gap_cycles: int
@@ -39,6 +40,11 @@ class CoreTrace:
     name: str
     entries: List[TraceEntry] = field(default_factory=list)
     memory_intensive: bool = True
+    #: (entry count, total) memo for :attr:`total_instructions` — the
+    #: sum is O(n) and the simulator reads it once per core per run.
+    _instruction_memo: Optional[Tuple[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -48,7 +54,18 @@ class CoreTrace:
 
     @property
     def total_instructions(self) -> int:
-        return sum(entry.instructions for entry in self.entries)
+        """Sum of per-entry instruction counts, memoized by length.
+
+        Generators build traces by appending entries, which the length
+        guard catches; in-place entry *replacement* (which no shipped
+        code does) would require dropping ``_instruction_memo``.
+        """
+        memo = self._instruction_memo
+        if memo is not None and memo[0] == len(self.entries):
+            return memo[1]
+        total = sum(entry.instructions for entry in self.entries)
+        self._instruction_memo = (len(self.entries), total)
+        return total
 
     def banks_touched(self) -> Sequence[int]:
         return sorted({entry.bank_index for entry in self.entries})

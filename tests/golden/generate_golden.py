@@ -1,0 +1,81 @@
+"""Regenerate the golden simulation results for the equivalence suite.
+
+The goldens pin `simulate()`'s *exact* output — every counter, cycle
+and float — for each shipped scheme on several workloads.  They were
+first captured from the pre-optimization (seed) simulator; the
+hot-path rework of the event loop, schedulers and sketches is required
+to reproduce them byte-for-byte, which is what
+``tests/integration/test_golden_equivalence.py`` asserts.
+
+Only rerun this script after an *intentional* behavior change, and say
+so in the commit message::
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent / "src"))
+
+from repro.engine.cache import result_to_dict  # noqa: E402
+from repro.engine.executor import execute_job  # noqa: E402
+from repro.engine.job import SimJob, WorkloadSpec  # noqa: E402
+
+GOLDEN_PATH = HERE / "simulation_results.json"
+
+#: Kept deliberately small (scale 0.25) so the equivalence test stays
+#: in the fast lane; coverage comes from the scheme x workload spread.
+SCALE = 0.25
+FLIP_TH = 6_250
+
+WORKLOADS = [
+    ("mix-high", {"seed": 11}),
+    ("fft", {"seed": 21}),
+    ("attack", {"pattern": "multi-sided", "seed": 31}),
+]
+
+#: Every shipped scheme family: the bare loop, CbS + ARR (graphene),
+#: CbS + RFM (mithril, mithril+), Bloom-filter throttling
+#: (blockhammer), probabilistic ARR (para), and the per-row-counter
+#: legacy schemes (twice, cbt).
+SCHEMES = [
+    "none",
+    "graphene",
+    "mithril",
+    "mithril+",
+    "blockhammer",
+    "para",
+    "twice",
+    "cbt",
+]
+
+
+def golden_jobs():
+    for kind, params in WORKLOADS:
+        spec = WorkloadSpec.make(kind, scale=SCALE, **params)
+        for scheme in SCHEMES:
+            yield SimJob(
+                workload=spec, scheme=scheme, flip_th=FLIP_TH, scale=SCALE
+            )
+
+
+def main() -> int:
+    records = []
+    for job in golden_jobs():
+        result = execute_job(job)
+        records.append(
+            {"job": job.canonical(), "result": result_to_dict(result)}
+        )
+        print(f"captured {job.workload.kind:<10} x {job.scheme}")
+    GOLDEN_PATH.write_text(json.dumps(records, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(records)} golden results to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

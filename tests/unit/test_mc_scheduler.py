@@ -55,6 +55,24 @@ class TestFrFcfs:
                                release_of=lambda r: 10_000)
         assert index is None  # the event loop falls back by release
 
+    def test_equal_arrival_ties_keep_lowest_index(self):
+        """FR-FCFS tie-break: same arrival cycle => first queued wins."""
+        scheduler = FrFcfsScheduler()
+        queue = [_request(0, 7, 10), _request(1, 7, 20), _request(2, 7, 30)]
+        assert scheduler.pick(queue, None, 100, _no_throttle) == 0
+        # A row hit still beats older same-arrival misses...
+        assert scheduler.pick(queue, 20, 100, _no_throttle) == 1
+        # ...and two same-arrival hits keep the lowest index.
+        queue.append(_request(3, 7, 20))
+        assert scheduler.pick(queue, 20, 100, _no_throttle) == 1
+
+    def test_none_release_means_everything_released(self):
+        """The event loop passes release_of=None for no-throttle schemes."""
+        scheduler = FrFcfsScheduler()
+        queue = [_request(0, 50, 10), _request(1, 5, 20)]
+        assert scheduler.pick(queue, None, 100, release_of=None) == 1
+        assert scheduler.pick([], None, 0, release_of=None) is None
+
 
 class TestBliss:
     def test_blacklists_after_streak(self):
@@ -99,6 +117,44 @@ class TestBliss:
         index = scheduler.pick(queue, None, 100,
                                release_of=lambda r: 10_000)
         assert index is None
+
+    def test_uncontended_serves_do_not_build_streak(self):
+        """A core alone in its queue must never blacklist itself."""
+        scheduler = BlissScheduler(blacklist_threshold=4)
+        for i in range(20):
+            scheduler.on_served(core=0, cycle=i, contended=False)
+        assert not scheduler._blacklisted(0, 100)
+
+    def test_uncontended_serves_do_not_reset_streak(self):
+        """Uncontended serves are invisible: the streak neither grows
+        nor restarts, so contention straddling an idle phase still
+        blacklists."""
+        scheduler = BlissScheduler(blacklist_threshold=4)
+        scheduler.on_served(core=0, cycle=0)
+        scheduler.on_served(core=0, cycle=1)
+        for i in range(10):
+            scheduler.on_served(core=0, cycle=2 + i, contended=False)
+        scheduler.on_served(core=0, cycle=20)
+        scheduler.on_served(core=0, cycle=21)
+        assert scheduler._blacklisted(0, 30)
+
+    def test_contended_interleaving_switches_streak_owner(self):
+        scheduler = BlissScheduler(blacklist_threshold=3)
+        scheduler.on_served(core=0, cycle=0)
+        scheduler.on_served(core=0, cycle=1)
+        scheduler.on_served(core=1, cycle=2)  # streak owner switches
+        scheduler.on_served(core=0, cycle=3)
+        scheduler.on_served(core=0, cycle=4)
+        assert not scheduler._blacklisted(0, 10)
+        scheduler.on_served(core=0, cycle=5)  # third consecutive
+        assert scheduler._blacklisted(0, 10)
+
+    def test_none_release_means_everything_released(self):
+        scheduler = BlissScheduler(blacklist_threshold=1,
+                                   blacklist_cycles=1000)
+        scheduler.on_served(core=0, cycle=0)
+        queue = [_request(0, 0, 10), _request(1, 50, 20)]
+        assert scheduler.pick(queue, 10, 100, release_of=None) == 1
 
 
 class TestFactory:
