@@ -10,10 +10,13 @@ list                List available experiments.
 safety <scheme>     Replay an attack against a scheme and report.
 configure           Print safe Mithril configurations for a FlipTH.
 schemes             List registered protection schemes.
-cache               Show (or clear) the simulation result cache.
+cache               Show (or clear / --gc) the simulation result cache.
 bench-speed         Time simulate() on a preset; append to the
                     BENCH_SIM_SPEED.json speed trajectory.
 profile             cProfile one workload x scheme simulation.
+traces <cmd>        Trace foundry: ingest external traces, synthesize
+                    stress families, characterize ACT streams
+                    (docs/WORKLOADS.md).
 """
 
 from __future__ import annotations
@@ -121,9 +124,28 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s)")
         return 0
+    if args.gc:
+        if args.gc == "stale":
+            removed = cache.gc_stale()
+        else:
+            try:
+                removed = cache.gc(args.gc)
+            except ValueError as error:
+                print(error)
+                return 1
+        print(f"removed {removed} cached result(s)")
+        return 0
+    live = code_version()
     print(f"cache directory:  {cache.directory}")
-    print(f"code version:     {code_version()}")
+    print(f"code version:     {live}")
     print(f"cached results:   {cache.entry_count()} (current version)")
+    versions = cache.versions()
+    dead = {v: n for v, n in versions.items() if v != live}
+    if dead:
+        print("dead generations (reclaim with --gc <version> or "
+              "--gc stale):")
+        for version, count in dead.items():
+            print(f"  {version}  {count} entr{'y' if count == 1 else 'ies'}")
     return 0
 
 
@@ -158,6 +180,158 @@ def _cmd_profile(args) -> int:
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# traces — the trace-foundry command group (docs/WORKLOADS.md)
+# ----------------------------------------------------------------------
+
+
+def _print_characterization(char, heading=None) -> None:
+    if heading:
+        print(heading)
+    summary = char.summary()
+    cdf = summary.pop("row_locality_cdf")
+    for key, value in summary.items():
+        print(f"  {key:<22} {value}")
+    points = "  ".join(f"<={k}:{v:.2f}" for k, v in sorted(cdf.items()))
+    print(f"  {'row_locality_cdf':<22} {points}")
+
+
+def _cmd_traces_list(_args) -> int:
+    from repro.engine import TRACE_KIND_PREFIX, workload_kinds
+    from repro.traces import mapping_names, reader_names
+
+    print("workload kinds:")
+    for kind in workload_kinds():
+        print(f"  {kind}")
+    print(f"  {TRACE_KIND_PREFIX}<path>  (an ingested TraceSet directory "
+          "or trace file)")
+    print("trace readers:")
+    for name in reader_names():
+        print(f"  {name}")
+    print("mapping policies:")
+    for name in mapping_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_traces_synth(args) -> int:
+    from repro.engine import build_workload
+    from repro.engine.job import WorkloadSpec
+    from repro.traces import DESIGN_TARGETS, TraceSet, design_violations
+
+    params = dict(scale=args.scale, num_cores=args.cores,
+                  num_banks=args.banks)
+    if args.seed is not None:
+        params["seed"] = args.seed
+    spec = WorkloadSpec.make(args.kind, **params)
+    try:
+        traces = build_workload(spec)
+    except (KeyError, TypeError, ValueError) as error:
+        # unknown kind, or a kind whose builder needs parameters synth
+        # does not expose (e.g. attack's `pattern`)
+        print(f"cannot synthesize {args.kind!r}: {error}")
+        return 1
+    if args.check:
+        if args.kind not in DESIGN_TARGETS:
+            print(f"no design targets documented for {args.kind!r}")
+        else:
+            violations = design_violations(args.kind, traces)
+            if violations:
+                print(f"{args.kind} misses its design targets:")
+                for violation in violations:
+                    print(f"  {violation}")
+                return 1
+            print(f"{args.kind}: design targets met")
+    traceset = TraceSet(
+        name=args.name or args.kind,
+        traces=traces,
+        provenance={"kind": "generated", "generator": args.kind,
+                    "params": dict(spec.params)},
+    )
+    manifest = traceset.save(args.output, format=args.format,
+                             compress=args.gzip)
+    requests = sum(len(t) for t in traces)
+    print(f"wrote {len(traces)} core trace(s), {requests} requests "
+          f"-> {manifest.parent}")
+    return 0
+
+
+def _cmd_traces_ingest(args) -> int:
+    from repro.traces import ingest_files
+
+    try:
+        traceset = ingest_files(
+            args.inputs,
+            name=args.name,
+            format=None if args.format == "auto" else args.format,
+            mapping=args.mapping,
+            mode="strict" if args.strict else "clamp",
+        )
+    except (OSError, KeyError, ValueError) as error:
+        # missing/unreadable input, unknown format or mapping, parse or
+        # geometry errors (TraceGeometryError is a ValueError)
+        print(f"ingest failed: {error}")
+        return 1
+    manifest = traceset.save(args.output, format=args.write_format,
+                             compress=args.gzip)
+    requests = sum(len(t) for t in traceset.traces)
+    print(f"ingested {len(traceset.traces)} trace(s), {requests} requests "
+          f"-> {manifest.parent}")
+    return 0
+
+
+def _cmd_traces_characterize(args) -> int:
+    from pathlib import Path
+
+    from repro.traces import (
+        TraceSet,
+        characterize_traceset,
+        read_trace,
+    )
+
+    path = Path(args.path)
+    try:
+        if path.is_dir():
+            traceset = TraceSet.load(path)
+        else:
+            trace = read_trace(path)
+            traceset = TraceSet(name=trace.name, traces=[trace])
+        aggregate, per_core = characterize_traceset(traceset)
+    except (OSError, KeyError, ValueError) as error:
+        print(f"cannot characterize {args.path}: {error}")
+        return 1
+    if args.json:
+        payload = {"aggregate": aggregate.summary()}
+        if args.per_core:
+            payload["cores"] = [c.summary() for c in per_core]
+        print(json.dumps(payload, indent=2))
+        return 0
+    _print_characterization(
+        aggregate,
+        heading=f"{aggregate.name} ({len(per_core)} core(s), merged):",
+    )
+    if args.per_core:
+        for core in per_core:
+            _print_characterization(core, heading=f"{core.name}:")
+    return 0
+
+
+def _cmd_traces_smoke(args) -> int:
+    """Build one tiny instance of every registered kind (CI smoke)."""
+    from repro.engine import build_workload, smoke_workload_specs
+    from repro.traces import characterize_workload
+
+    for kind, spec in smoke_workload_specs(args.scale).items():
+        traces = build_workload(spec)
+        char = characterize_workload(traces, name=kind)
+        print(
+            f"{kind:<26} cores={len(traces)} requests={char.requests} "
+            f"act/acc={char.act_per_access:.2f} "
+            f"imbalance={char.bank_imbalance:.2f}"
+        )
     return 0
 
 
@@ -252,6 +426,9 @@ def main(argv=None) -> int:
     )
     p_cache.add_argument("--clear", action="store_true",
                          help="delete every cached result")
+    p_cache.add_argument("--gc", metavar="VERSION",
+                         help="delete one dead code-version generation "
+                              "('stale' = every non-live generation)")
     p_cache.set_defaults(func=_cmd_cache)
 
     from repro.speed import preset_names
@@ -279,6 +456,79 @@ def main(argv=None) -> int:
     p_prof.add_argument("--top", type=int, default=25,
                         help="number of rows to print")
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_traces = sub.add_parser(
+        "traces", help="trace foundry: ingest, characterize, synth"
+    )
+    tsub = p_traces.add_subparsers(dest="traces_command", required=True)
+
+    t_list = tsub.add_parser(
+        "list", help="list workload kinds, readers, mapping policies"
+    )
+    t_list.set_defaults(func=_cmd_traces_list)
+
+    t_synth = tsub.add_parser(
+        "synth", help="generate a workload kind into a TraceSet"
+    )
+    t_synth.add_argument("kind", help="registered workload kind")
+    t_synth.add_argument("-o", "--output", required=True,
+                         help="TraceSet directory to write")
+    t_synth.add_argument("--name", default=None,
+                         help="TraceSet name (default: the kind)")
+    t_synth.add_argument("--scale", type=float, default=1.0)
+    t_synth.add_argument("--cores", type=int, default=4)
+    t_synth.add_argument("--banks", type=int, default=16)
+    t_synth.add_argument("--seed", type=int, default=None,
+                         help="builder seed (default: the kind's)")
+    t_synth.add_argument("--format", choices=("jsonl", "binary"),
+                         default="jsonl")
+    t_synth.add_argument("--gzip", action="store_true",
+                         help="gzip the per-core trace files")
+    t_synth.add_argument("--check", action="store_true",
+                         help="assert the family's design targets")
+    t_synth.set_defaults(func=_cmd_traces_synth)
+
+    t_ingest = tsub.add_parser(
+        "ingest", help="read external traces into a TraceSet"
+    )
+    t_ingest.add_argument("inputs", nargs="+",
+                          help="one trace file per core")
+    t_ingest.add_argument("-o", "--output", required=True,
+                          help="TraceSet directory to write")
+    t_ingest.add_argument("--name", default="ingested")
+    t_ingest.add_argument("--format",
+                          choices=("auto", "jsonl", "binary",
+                                   "dramsim3-csv"),
+                          default="auto",
+                          help="input format (default: sniff per file)")
+    t_ingest.add_argument("--mapping", default="row-bank-col",
+                          help="address mapping policy for byte-addressed "
+                               "formats (see `traces list`)")
+    t_ingest.add_argument("--strict", action="store_true",
+                          help="error on out-of-geometry entries instead "
+                               "of clamping")
+    t_ingest.add_argument("--write-format", choices=("jsonl", "binary"),
+                          default="jsonl",
+                          help="serialization for the written TraceSet")
+    t_ingest.add_argument("--gzip", action="store_true",
+                          help="gzip the written trace files")
+    t_ingest.set_defaults(func=_cmd_traces_ingest)
+
+    t_char = tsub.add_parser(
+        "characterize", help="ACT-stream statistics of a TraceSet/file"
+    )
+    t_char.add_argument("path",
+                        help="TraceSet directory or single trace file")
+    t_char.add_argument("--json", action="store_true")
+    t_char.add_argument("--per-core", action="store_true",
+                        help="also characterize each core in isolation")
+    t_char.set_defaults(func=_cmd_traces_characterize)
+
+    t_smoke = tsub.add_parser(
+        "smoke", help="build one tiny instance of every workload kind"
+    )
+    t_smoke.add_argument("--scale", type=float, default=0.1)
+    t_smoke.set_defaults(func=_cmd_traces_smoke)
 
     p_safe = sub.add_parser("safety", help="replay an attack")
     p_safe.add_argument("scheme", choices=scheme_names())

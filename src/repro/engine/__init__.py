@@ -31,12 +31,15 @@ from repro.engine.cache import (
     result_to_dict,
 )
 from repro.engine.catalog import (
+    TRACE_KIND_PREFIX,
     attack_workload_spec,
     build_config,
     build_workload,
     normal_workload_specs,
     register_workload,
     scheme_factory_for,
+    smoke_workload_specs,
+    traceset_spec,
     workload_kinds,
 )
 from repro.engine.executor import RunStats, execute_job, run_jobs
@@ -64,4 +67,7 @@ __all__ = [
     "normal_workload_specs",
     "attack_workload_spec",
     "scheme_factory_for",
+    "smoke_workload_specs",
+    "traceset_spec",
+    "TRACE_KIND_PREFIX",
 ]

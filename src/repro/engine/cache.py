@@ -122,6 +122,67 @@ class ResultCache:
             return 0
         return sum(1 for _ in version_dir.glob("*.json"))
 
+    def versions(self) -> Dict[str, int]:
+        """Entry counts per code-version generation present on disk.
+
+        Every source change mints a new generation
+        (:func:`code_version`), so long-lived cache directories
+        accumulate dead generations; this is the inventory behind
+        ``repro cache --gc``.
+        """
+        if not self.directory.is_dir():
+            return {}
+        return {
+            child.name: sum(1 for _ in child.glob("*.json"))
+            for child in sorted(self.directory.iterdir())
+            if child.is_dir()
+        }
+
+    def gc(self, version: str) -> int:
+        """Delete one dead generation's entries; returns the count.
+
+        ``version`` must be a generation directory name from
+        :meth:`versions` — the current :func:`code_version` is refused
+        (it is live, not dead; use :meth:`clear` to drop everything).
+        """
+        if version == code_version():
+            raise ValueError(
+                f"refusing to gc the live generation {version}; "
+                "use clear() to drop the whole cache"
+            )
+        version_dir = self.directory / version
+        # Containment must hold on the *resolved* path: "..", "a/b" or
+        # absolute names would otherwise escape the cache directory.
+        try:
+            resolved = version_dir.resolve()
+            contained = resolved.parent == self.directory.resolve()
+        except OSError:
+            return 0
+        if not contained or resolved.name != version:
+            return 0
+        if not version_dir.is_dir():
+            return 0
+        removed = 0
+        for path in version_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            version_dir.rmdir()
+        except OSError:
+            pass
+        return removed
+
+    def gc_stale(self) -> int:
+        """Delete every generation except the live one."""
+        live = code_version()
+        return sum(
+            self.gc(version) for version in self.versions()
+            if version != live
+        )
+
     def clear(self) -> int:
         """Delete every entry (all code versions); returns the count."""
         removed = 0

@@ -55,6 +55,11 @@ def _sized(scale: float, base: int) -> int:
 
 _WORKLOAD_BUILDERS: Dict[str, Callable[..., List[CoreTrace]]] = {}
 
+#: Kind prefix routing a spec to an ingested TraceSet instead of a
+#: registered builder: ``trace:<path>`` loads the TraceSet directory
+#: (or single trace file) at ``<path>`` — see docs/WORKLOADS.md.
+TRACE_KIND_PREFIX = "trace:"
+
 
 def register_workload(kind: str):
     """Decorator registering a workload builder under ``kind``."""
@@ -67,19 +72,59 @@ def register_workload(kind: str):
 
 
 def workload_kinds() -> List[str]:
+    """The registered builder kinds (each buildable as-is).
+
+    The ``trace:<path>`` pseudo-kind is deliberately absent: it names
+    ingested content, not a builder, so enumerating callers can build
+    every returned kind without special-casing.  Specs route to it via
+    :data:`TRACE_KIND_PREFIX` / :func:`traceset_spec`.
+    """
     return sorted(_WORKLOAD_BUILDERS)
 
 
 def build_workload(spec: WorkloadSpec) -> List[CoreTrace]:
     """Materialize the traces a spec references (deterministic)."""
+    if spec.kind.startswith(TRACE_KIND_PREFIX):
+        from repro.traces.ingest import build_trace_workload
+
+        path = spec.kind[len(TRACE_KIND_PREFIX):]
+        return build_trace_workload(path, **spec.as_dict())
     try:
         builder = _WORKLOAD_BUILDERS[spec.kind]
     except KeyError:
         raise KeyError(
             f"unknown workload kind {spec.kind!r}; "
-            f"known: {', '.join(workload_kinds())}"
+            f"known: {', '.join(workload_kinds())} (or trace:<path>)"
         ) from None
     return builder(**spec.as_dict())
+
+
+def traceset_spec(path, **params) -> WorkloadSpec:
+    """A ``trace:<path>`` spec with the set's content digest folded in.
+
+    The job hash covers only the spec, not the files it points at;
+    pinning the TraceSet digest into the params means a rewritten
+    TraceSet at the same path can never be satisfied by a stale cache
+    entry.  Single trace files hash their raw bytes instead.
+    """
+    import hashlib
+    import json
+    from pathlib import Path
+
+    from repro.traces.ingest import MANIFEST_NAME
+
+    path = Path(path)
+    if path.is_dir():
+        # The manifest's committed content digest, not a full load: the
+        # worker's TraceSet.load(verify=True) still checks every file's
+        # sha256, so drivers stay cheap without losing integrity.
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        digest = manifest["digest"]
+    else:
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+    return WorkloadSpec.make(
+        TRACE_KIND_PREFIX + str(path), digest=digest, **params
+    )
 
 
 #: Benign-mix seeds the attack panels of Figures 10 and 11 average
@@ -216,6 +261,69 @@ def _build_attack(
     else:
         raise ValueError(f"unknown attack pattern {pattern!r}")
     return benign + [attacker]
+
+
+@register_workload("capacity-pressure")
+def _build_capacity_pressure(
+    scale: float = 1.0,
+    num_cores: int = DEFAULT_CORES,
+    num_banks: int = DEFAULT_BANKS,
+    seed: int = 61,
+) -> List[CoreTrace]:
+    from repro.traces.families import capacity_pressure
+
+    return capacity_pressure(
+        num_cores=num_cores, num_requests=_sized(scale, DEFAULT_REQUESTS),
+        num_banks=num_banks, seed=seed,
+    )
+
+
+@register_workload("row-conflict-heavy")
+def _build_row_conflict_heavy(
+    scale: float = 1.0,
+    num_cores: int = DEFAULT_CORES,
+    num_banks: int = DEFAULT_BANKS,
+    seed: int = 62,
+) -> List[CoreTrace]:
+    from repro.traces.families import row_conflict_heavy
+
+    return row_conflict_heavy(
+        num_cores=num_cores, num_requests=_sized(scale, DEFAULT_REQUESTS),
+        num_banks=num_banks, seed=seed,
+    )
+
+
+@register_workload("multi-channel-imbalanced")
+def _build_multi_channel_imbalanced(
+    scale: float = 1.0,
+    num_cores: int = DEFAULT_CORES,
+    num_banks: int = DEFAULT_BANKS,
+    seed: int = 63,
+) -> List[CoreTrace]:
+    from repro.traces.families import multi_channel_imbalanced
+
+    return multi_channel_imbalanced(
+        num_cores=num_cores, num_requests=_sized(scale, DEFAULT_REQUESTS),
+        num_banks=num_banks, seed=seed,
+    )
+
+
+def smoke_workload_specs(scale: float = 0.1) -> Dict[str, WorkloadSpec]:
+    """One tiny spec per registered kind (the CI smoke surface).
+
+    Covers every builder in the catalog — kinds with required
+    parameters get a representative choice — so "every registered
+    workload kind materializes" stays a one-call check as the catalog
+    grows.  The ``trace:<path>`` pseudo-kind is excluded; it has no
+    builder, only ingested content.
+    """
+    specs = {}
+    for kind in sorted(_WORKLOAD_BUILDERS):
+        extra = {"pattern": "multi-sided"} if kind == "attack" else {}
+        specs[kind] = WorkloadSpec.make(
+            kind, scale=scale, num_cores=2, **extra
+        )
+    return specs
 
 
 def normal_workload_specs(

@@ -1,0 +1,265 @@
+"""Trace readers: the pluggable ingestion formats.
+
+Three formats ship, registered by name (:func:`register_reader`) so
+external converters can add more without touching the ingestion CLI:
+
+``jsonl``
+    The native line-delimited JSON of :meth:`CoreTrace.save` — one
+    header object, then one ``[gap, bank, row, column, write, instr]``
+    array per request.  Human-inspectable; roughly 40 bytes/request.
+
+``binary``
+    A compact columnar format (magic ``RPTRC1``): a JSON header line
+    followed by the six entry fields as contiguous little-endian
+    column blobs (int64, except ``is_write`` as uint8).  ~41 bytes per
+    request raw, but columns compress far better than JSON — the
+    expected on-disk form is ``.bin.gz``.
+
+``dramsim3-csv``
+    A DRAMsim3-style ``addr,cycle,op`` request log (comma- or
+    whitespace-separated, ``0x``-hex or decimal addresses, absolute
+    cycle stamps, READ/WRITE ops).  Byte addresses are decoded through
+    an address-mapping policy (:mod:`repro.traces.mapping`), cycle
+    stamps become inter-request gaps, and the gap doubles as the
+    instruction proxy — external logs carry no retire counts.
+
+Every reader takes ``(path, organization=..., mapping=...)`` and
+returns one :class:`~repro.workloads.trace.CoreTrace`; formats that
+already carry coordinates ignore the mapping arguments.  All paths
+accept a ``.gz`` suffix transparently (:func:`open_trace_file`).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.params import DEFAULT_CONFIG, DramOrganization
+from repro.traces.mapping import DEFAULT_MAPPING, map_address
+from repro.workloads.trace import CoreTrace, TraceEntry, open_trace_file
+
+#: Magic prefix of the binary columnar format (version 1).
+BINARY_MAGIC = b"RPTRC1\n"
+
+#: Column layout of the binary format, in file order.
+_COLUMNS = (
+    ("gap_cycles", "q"),
+    ("bank_index", "q"),
+    ("row", "q"),
+    ("column", "q"),
+    ("is_write", "B"),
+    ("instructions", "q"),
+)
+
+Reader = Callable[..., CoreTrace]
+
+_READERS: Dict[str, Reader] = {}
+
+
+def register_reader(name: str):
+    """Decorator registering a trace reader under ``name``."""
+
+    def decorator(reader: Reader) -> Reader:
+        _READERS[name] = reader
+        return reader
+
+    return decorator
+
+
+def reader_names() -> List[str]:
+    return sorted(_READERS)
+
+
+def get_reader(name: str) -> Reader:
+    try:
+        return _READERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace format {name!r}; "
+            f"known: {', '.join(reader_names())}"
+        ) from None
+
+
+def read_trace(
+    path,
+    format: Optional[str] = None,
+    organization: Optional[DramOrganization] = None,
+    mapping: str = DEFAULT_MAPPING,
+) -> CoreTrace:
+    """Read one trace, sniffing the format when none is given."""
+    if format is None or format == "auto":
+        format = detect_format(path)
+    return get_reader(format)(
+        path, organization=organization, mapping=mapping
+    )
+
+
+def detect_format(path) -> str:
+    """Sniff a trace file's format from its first bytes."""
+    with open_trace_file(path, "rb") as handle:
+        head = handle.read(len(BINARY_MAGIC))
+    if head == BINARY_MAGIC:
+        return "binary"
+    if head.lstrip()[:1] == b"{":
+        return "jsonl"
+    if head.strip():
+        return "dramsim3-csv"
+    raise ValueError(f"cannot detect trace format of empty file {path}")
+
+
+# ----------------------------------------------------------------------
+# jsonl — the native CoreTrace serialization
+# ----------------------------------------------------------------------
+
+
+@register_reader("jsonl")
+def read_jsonl(path, organization=None, mapping=DEFAULT_MAPPING) -> CoreTrace:
+    return CoreTrace.load(path)
+
+
+def write_jsonl(trace: CoreTrace, path) -> None:
+    trace.save(path)
+
+
+# ----------------------------------------------------------------------
+# binary — columnar int64 blobs behind a JSON header
+# ----------------------------------------------------------------------
+
+
+def _native(column: "array") -> "array":
+    if sys.byteorder == "big":
+        column.byteswap()
+    return column
+
+
+@register_reader("binary")
+def read_binary(path, organization=None, mapping=DEFAULT_MAPPING) -> CoreTrace:
+    with open_trace_file(path, "rb") as handle:
+        magic = handle.read(len(BINARY_MAGIC))
+        if magic != BINARY_MAGIC:
+            raise ValueError(
+                f"{path} is not a binary repro trace "
+                f"(magic {magic!r}, expected {BINARY_MAGIC!r})"
+            )
+        header = json.loads(handle.readline())
+        count = header["count"]
+        columns = {}
+        for name, typecode in _COLUMNS:
+            column = array(typecode)
+            column.frombytes(handle.read(column.itemsize * count))
+            if len(column) != count:
+                raise ValueError(
+                    f"{path}: column {name!r} truncated "
+                    f"({len(column)} of {count} values)"
+                )
+            columns[name] = _native(column)
+    entries = [
+        TraceEntry(
+            gap_cycles=columns["gap_cycles"][i],
+            bank_index=columns["bank_index"][i],
+            row=columns["row"][i],
+            column=columns["column"][i],
+            is_write=bool(columns["is_write"][i]),
+            instructions=columns["instructions"][i],
+        )
+        for i in range(count)
+    ]
+    return CoreTrace(
+        name=header["name"],
+        entries=entries,
+        memory_intensive=header.get("memory_intensive", True),
+    )
+
+
+def write_binary(trace: CoreTrace, path) -> None:
+    columns = {
+        "gap_cycles": array("q", (e.gap_cycles for e in trace.entries)),
+        "bank_index": array("q", (e.bank_index for e in trace.entries)),
+        "row": array("q", (e.row for e in trace.entries)),
+        "column": array("q", (e.column for e in trace.entries)),
+        "is_write": array("B", (int(e.is_write) for e in trace.entries)),
+        "instructions": array("q", (e.instructions for e in trace.entries)),
+    }
+    header = {
+        "name": trace.name,
+        "memory_intensive": trace.memory_intensive,
+        "count": len(trace.entries),
+    }
+    with open_trace_file(path, "wb") as handle:
+        handle.write(BINARY_MAGIC)
+        handle.write((json.dumps(header) + "\n").encode())
+        for name, _typecode in _COLUMNS:
+            handle.write(_native(columns[name]).tobytes())
+
+
+#: Writers by format name (the ingestion CLI's ``--format`` choices).
+WRITERS: Dict[str, Callable[[CoreTrace, object], None]] = {
+    "jsonl": write_jsonl,
+    "binary": write_binary,
+}
+
+
+# ----------------------------------------------------------------------
+# dramsim3-csv — addr,cycle,op request logs
+# ----------------------------------------------------------------------
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+@register_reader("dramsim3-csv")
+def read_dramsim3_csv(
+    path,
+    organization: Optional[DramOrganization] = None,
+    mapping: str = DEFAULT_MAPPING,
+) -> CoreTrace:
+    org = organization or DEFAULT_CONFIG.organization
+    entries = []
+    previous_cycle = None
+    with open_trace_file(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = [t for t in line.replace(",", " ").split() if t]
+            if tokens[0].lower() in ("addr", "address"):  # header row
+                continue
+            if len(tokens) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'addr,cycle,op', "
+                    f"got {line!r}"
+                )
+            address, cycle = _parse_int(tokens[0]), _parse_int(tokens[1])
+            op = tokens[2].strip().upper()
+            if op not in ("READ", "WRITE", "R", "W"):
+                raise ValueError(
+                    f"{path}:{lineno}: unknown op {tokens[2]!r} "
+                    "(expected READ/WRITE)"
+                )
+            gap = 0 if previous_cycle is None else max(
+                0, cycle - previous_cycle
+            )
+            previous_cycle = cycle
+            bank, row, column = map_address(mapping, address, org)
+            entries.append(
+                TraceEntry(
+                    gap_cycles=gap,
+                    bank_index=bank,
+                    row=row,
+                    column=column,
+                    is_write=op.startswith("W"),
+                    # External logs carry no retire counts; the gap is
+                    # the same throughput proxy the generators use.
+                    instructions=gap + 1,
+                )
+            )
+    name = Path(path).name
+    for suffix in (".gz", ".csv", ".trace", ".txt"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    return CoreTrace(name=name or "dramsim3", entries=entries)

@@ -13,7 +13,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.workloads.trace import CoreTrace
+from repro.workloads.trace import CoreTrace, interleave_round_robin
 
 
 @dataclass
@@ -65,16 +65,7 @@ def profile_traces(traces: Iterable[CoreTrace]) -> WorkloadProfile:
     Requests are interleaved round-robin across cores, approximating
     the arrival interleaving the memory controller sees.
     """
-    iterators = [iter(t.entries) for t in traces]
-    merged = []
-    while iterators:
-        alive = []
-        for it in iterators:
-            entry = next(it, None)
-            if entry is not None:
-                merged.append(entry)
-                alive.append(it)
-        iterators = alive
+    merged = interleave_round_robin(traces)
     if not merged:
         raise ValueError("traces contain no requests")
 

@@ -9,10 +9,43 @@ ACT stream statistics, which the generators control explicitly.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class _DeterministicGzip(gzip.GzipFile):
+    """GzipFile whose header carries no filename and mtime 0.
+
+    The stock header embeds both, so saving the same trace under two
+    paths (or at two times) yields different bytes; pinning them keeps
+    re-saves byte-identical — what TraceSet manifests' sha256 digests
+    rely on.
+    """
+
+    def __init__(self, path, mode: str):
+        self._raw = open(path, mode)
+        super().__init__(filename="", mode=mode, fileobj=self._raw,
+                         mtime=0)
+
+    def close(self):
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
+def open_trace_file(path, mode: str):
+    """Open a trace file, transparently compressed when it ends ``.gz``."""
+    path = Path(path)
+    binary = "b" in mode
+    if path.suffix == ".gz":
+        raw = _DeterministicGzip(path, "wb" if "w" in mode else "rb")
+        return raw if binary else io.TextIOWrapper(raw)
+    return path.open(mode if binary else mode.rstrip("b"))
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,8 +108,7 @@ class CoreTrace:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        path = Path(path)
-        with path.open("w") as handle:
+        with open_trace_file(path, "w") as handle:
             header = {
                 "name": self.name,
                 "memory_intensive": self.memory_intensive,
@@ -95,8 +127,7 @@ class CoreTrace:
 
     @classmethod
     def load(cls, path) -> "CoreTrace":
-        path = Path(path)
-        with path.open() as handle:
+        with open_trace_file(path, "r") as handle:
             header = json.loads(handle.readline())
             entries = []
             for line in handle:
@@ -124,3 +155,24 @@ def merge_as_workload(traces: Iterable[CoreTrace]) -> List[CoreTrace]:
     if not result:
         raise ValueError("a workload needs at least one core trace")
     return result
+
+
+def interleave_round_robin(traces: Iterable[CoreTrace]) -> List[TraceEntry]:
+    """Merge per-core streams round-robin, one entry per core per turn.
+
+    The arrival-interleaving approximation both characterization
+    layers (:func:`repro.workloads.stats.profile_traces` and
+    :mod:`repro.traces.characterize`) analyze: close to what the
+    memory controller sees without simulating timing.
+    """
+    iterators = [iter(t.entries) for t in traces]
+    merged: List[TraceEntry] = []
+    while iterators:
+        alive = []
+        for iterator in iterators:
+            entry = next(iterator, None)
+            if entry is not None:
+                merged.append(entry)
+                alive.append(iterator)
+        iterators = alive
+    return merged

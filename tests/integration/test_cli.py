@@ -56,3 +56,120 @@ class TestCliCommands:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestCacheCommand:
+    def test_gc_dead_generation(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dead = tmp_path / "deadbeef00000000"
+        dead.mkdir(parents=True)
+        (dead / "entry.json").write_text("{}")
+        assert main(["cache"]) == 0
+        assert "dead generations" in capsys.readouterr().out
+        assert main(["cache", "--gc", "deadbeef00000000"]) == 0
+        assert "removed 1 cached result" in capsys.readouterr().out
+        assert not dead.exists()
+
+    def test_gc_stale_spares_the_live_generation(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.engine import code_version
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        live = tmp_path / code_version()
+        live.mkdir(parents=True)
+        (live / "keep.json").write_text("{}")
+        dead = tmp_path / "0123456789abcdef"
+        dead.mkdir()
+        (dead / "drop.json").write_text("{}")
+        assert main(["cache", "--gc", "stale"]) == 0
+        assert (live / "keep.json").exists()
+        assert not dead.exists()
+
+    def test_gc_refuses_the_live_generation(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.engine import code_version
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "--gc", code_version()]) == 1
+        assert "refusing" in capsys.readouterr().out
+
+
+class TestTracesCommands:
+    def test_list(self, capsys):
+        assert main(["traces", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity-pressure" in out
+        assert "dramsim3-csv" in out
+        assert "xor-bank" in out
+
+    def test_synth_check_characterize_roundtrip(self, tmp_path, capsys):
+        out_dir = tmp_path / "set"
+        assert main([
+            "traces", "synth", "row-conflict-heavy", "-o", str(out_dir),
+            "--scale", "0.1", "--cores", "2", "--check",
+            "--format", "binary", "--gzip",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "design targets met" in out
+        assert (out_dir / "manifest.json").exists()
+        assert main(["traces", "characterize", str(out_dir), "--json",
+                     "--per-core"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aggregate"]["act_per_access"] >= 0.95
+        assert len(payload["cores"]) == 2
+
+    def test_synth_unknown_kind_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["traces", "synth", "no-such-kind",
+                     "-o", str(tmp_path / "x")]) == 1
+        assert "cannot synthesize" in capsys.readouterr().out
+
+    def test_synth_kind_needing_params_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        # `attack` is listed but its builder requires `pattern`
+        assert main(["traces", "synth", "attack",
+                     "-o", str(tmp_path / "x")]) == 1
+        assert "cannot synthesize 'attack'" in capsys.readouterr().out
+
+    def test_ingest_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["traces", "ingest", str(tmp_path / "absent.csv"),
+                     "-o", str(tmp_path / "x")]) == 1
+        assert "ingest failed" in capsys.readouterr().out
+
+    def test_characterize_non_traceset_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        assert main(["traces", "characterize", str(tmp_path)]) == 1
+        assert "cannot characterize" in capsys.readouterr().out
+
+    def test_ingest_csv(self, tmp_path, capsys):
+        source = tmp_path / "log.csv"
+        source.write_text("addr,cycle,op\n0x40,10,READ\n0x80,30,WRITE\n")
+        out_dir = tmp_path / "imported"
+        assert main([
+            "traces", "ingest", str(source), "-o", str(out_dir),
+            "--name", "import-test", "--mapping", "bank-row-col",
+        ]) == 0
+        assert "ingested 1 trace(s), 2 requests" in capsys.readouterr().out
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["name"] == "import-test"
+        sources = manifest["provenance"]["sources"]
+        assert sources[0]["mapping"] == "bank-row-col"
+
+    def test_smoke_covers_every_kind(self, capsys):
+        from repro.engine import workload_kinds
+
+        assert main(["traces", "smoke", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for kind in workload_kinds():
+            assert kind in out
+
+    def test_characterize_shipped_example_set(self, capsys):
+        from pathlib import Path
+
+        example = (Path(__file__).resolve().parents[2]
+                   / "examples" / "traces" / "example-set")
+        assert main(["traces", "characterize", str(example)]) == 0
+        assert "act_per_access" in capsys.readouterr().out

@@ -83,6 +83,66 @@ class TestResultCache:
         assert cache.get(other) is None
 
 
+class TestGenerationGc:
+    def _seed_generations(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_job(), _result())  # live generation
+        dead = tmp_path / "00000000deadbeef"
+        dead.mkdir()
+        (dead / "a.json").write_text("{}")
+        (dead / "b.json").write_text("{}")
+        return cache, dead
+
+    def test_versions_inventory(self, tmp_path):
+        cache, _dead = self._seed_generations(tmp_path)
+        versions = cache.versions()
+        assert versions[code_version()] == 1
+        assert versions["00000000deadbeef"] == 2
+
+    def test_gc_removes_only_the_named_generation(self, tmp_path):
+        cache, dead = self._seed_generations(tmp_path)
+        assert cache.gc("00000000deadbeef") == 2
+        assert not dead.exists()
+        assert cache.entry_count() == 1  # live entry untouched
+        assert cache.get(_job()) == _result()
+
+    def test_gc_refuses_the_live_generation(self, tmp_path):
+        cache, _dead = self._seed_generations(tmp_path)
+        import pytest
+
+        with pytest.raises(ValueError, match="live generation"):
+            cache.gc(code_version())
+
+    def test_gc_unknown_generation_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.gc("not-a-generation") == 0
+
+    def test_gc_rejects_path_escapes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        precious = tmp_path / "precious.json"
+        precious.write_text("{}")
+        nested = tmp_path / "nested" / "deep"
+        nested.mkdir(parents=True)
+        (nested / "x.json").write_text("{}")
+        cache = ResultCache(cache_dir)
+        assert cache.gc("..") == 0
+        assert cache.gc(str(tmp_path / "nested")) == 0
+        assert cache.gc("../nested/deep") == 0
+        assert precious.exists()
+        assert (nested / "x.json").exists()
+        assert tmp_path.is_dir()
+
+    def test_gc_stale_sweeps_everything_dead(self, tmp_path):
+        cache, dead = self._seed_generations(tmp_path)
+        other = tmp_path / "1111111111111111"
+        other.mkdir()
+        (other / "c.json").write_text("{}")
+        assert cache.gc_stale() == 3
+        assert not dead.exists() and not other.exists()
+        assert cache.entry_count() == 1
+
+
 class TestCacheLocation:
     def test_env_var_overrides_default(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
