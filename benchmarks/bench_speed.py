@@ -24,6 +24,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.speed import (  # noqa: E402  (path bootstrap above)
     DEFAULT_OUTPUT,
+    UncontrolledSpeedClaim,
     preset_names,
     run_and_report,
 )
@@ -39,12 +40,22 @@ def main(argv=None) -> int:
         default=str(REPO_ROOT / DEFAULT_OUTPUT),
         help="trajectory file to append to ('-' disables recording)",
     )
-    args = parser.parse_args(argv)
-    run_and_report(
-        args.preset,
-        args.label,
-        output=None if args.output == "-" else Path(args.output),
+    parser.add_argument(
+        "--allow-uncontrolled", action="store_true",
+        help="record a *-controlled entry even without its back-to-back "
+             "baseline-controlled partner (warns instead of refusing)",
     )
+    args = parser.parse_args(argv)
+    try:
+        run_and_report(
+            args.preset,
+            args.label,
+            output=None if args.output == "-" else Path(args.output),
+            allow_uncontrolled=args.allow_uncontrolled,
+        )
+    except UncontrolledSpeedClaim as error:
+        print(f"refusing to record: {error}")
+        return 1
     return 0
 
 

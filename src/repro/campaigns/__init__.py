@@ -1,0 +1,62 @@
+"""Declarative multi-experiment campaigns (docs/CAMPAIGNS.md).
+
+The orchestration layer over the experiment engine: a
+:class:`~repro.campaigns.spec.CampaignSpec` names a set of experiments
+with per-experiment overrides, the planner expands it into one
+deduplicated job pool with provenance, the executor runs that pool
+resumably (manifest checkpoints per batch — a killed campaign restarts
+with zero re-simulated completed points), and the report layer renders
+per-experiment slowdown tables, stress-family panels, and cache-hit
+stats in markdown or JSON.
+
+    from repro.campaigns import get_campaign, plan_campaign, run_campaign
+
+    spec = get_campaign("stress-panel")
+    print(plan_campaign(spec).summary())     # no simulation
+    result = run_campaign(spec, n_jobs=4)    # resumable
+"""
+
+from repro.campaigns.executor import (
+    DEFAULT_BATCH_SIZE,
+    CampaignManifest,
+    CampaignRunResult,
+    CampaignRunStats,
+    manifest_path,
+    run_campaign,
+)
+from repro.campaigns.planner import (
+    CampaignPlan,
+    PlannedExperiment,
+    plan_campaign,
+)
+from repro.campaigns.report import build_report, format_report
+from repro.campaigns.spec import (
+    STRESS_FAMILIES,
+    CampaignError,
+    CampaignSpec,
+    ExperimentSpec,
+    builtin_campaigns,
+    campaign_dir,
+    get_campaign,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "ExperimentSpec",
+    "CampaignError",
+    "CampaignPlan",
+    "PlannedExperiment",
+    "CampaignManifest",
+    "CampaignRunResult",
+    "CampaignRunStats",
+    "DEFAULT_BATCH_SIZE",
+    "STRESS_FAMILIES",
+    "builtin_campaigns",
+    "get_campaign",
+    "campaign_dir",
+    "plan_campaign",
+    "run_campaign",
+    "manifest_path",
+    "build_report",
+    "format_report",
+]

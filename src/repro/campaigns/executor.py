@@ -1,0 +1,291 @@
+"""Resumable campaign execution on top of :func:`run_jobs`.
+
+A campaign's deduplicated job pool runs in batches; after every batch
+the **campaign manifest** (``<campaign dir>/<name>/manifest.json``) is
+rewritten atomically with the set of completed job hashes.  A killed
+campaign therefore restarts exactly where it died: completed points
+are never resubmitted (the manifest skips them before
+:func:`run_jobs` is even called), and points the result cache already
+holds cost a cache hit, not a simulation — ``simulated == 0`` for
+every already-completed point is the invariant the resumability tests
+pin down.
+
+The manifest is only trusted for the code version that wrote it.  Any
+source change mints a new :func:`~repro.engine.cache.code_version`,
+which both strands the old cache generation and resets the manifest's
+completion set — a resumed campaign can never mix results from two
+simulator versions.
+
+Completed batches also annotate the result-cache index with
+per-experiment provenance (``experiments`` field), so
+``repro cache --query experiment=<name>`` works after a campaign run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.campaigns.planner import CampaignPlan, plan_campaign
+from repro.campaigns.spec import CampaignSpec, campaign_dir
+from repro.engine.cache import ResultCache, code_version
+from repro.engine.executor import run_jobs
+
+MANIFEST_NAME = "manifest.json"
+
+#: Points per checkpoint batch.  Small enough that a kill loses
+#: minutes, large enough that manifest rewrites are noise.
+DEFAULT_BATCH_SIZE = 16
+
+
+@dataclass
+class CampaignRunStats:
+    """Accounting for one :func:`run_campaign` invocation."""
+
+    total_points: int = 0          #: distinct points in the plan
+    previously_complete: int = 0   #: skipped via the manifest
+    submitted: int = 0             #: points handed to run_jobs
+    simulated: int = 0             #: points actually simulated
+    cache_hits: int = 0            #: points served by the result cache
+    batches: int = 0               #: checkpoint batches executed
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total_points": self.total_points,
+            "previously_complete": self.previously_complete,
+            "submitted": self.submitted,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+        }
+
+
+@dataclass
+class CampaignRunResult:
+    """What one :func:`run_campaign` call accomplished."""
+
+    plan: CampaignPlan
+    manifest_path: Path
+    stats: CampaignRunStats
+    complete: bool
+
+
+class CampaignManifest:
+    """The on-disk checkpoint of one campaign's progress."""
+
+    def __init__(self, path: Path, data: Dict[str, Any]):
+        self.path = Path(path)
+        self.data = data
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def fresh(cls, path: Path, plan: CampaignPlan) -> "CampaignManifest":
+        return cls(
+            path,
+            {
+                "campaign": plan.spec.name,
+                "description": plan.spec.description,
+                "code_version": code_version(),
+                "created": _utc_now(),
+                "experiments": [
+                    {
+                        "name": exp.name,
+                        "kind": exp.kind,
+                        "params": exp.params,
+                        "points": exp.points,
+                        "job_hashes": exp.job_hashes,
+                    }
+                    for exp in plan.experiments
+                ],
+                "total_points": plan.total_points,
+                "completed": [],
+                "runs": [],
+                "status": "planned",
+            },
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["CampaignManifest"]:
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or "completed" not in data:
+            return None
+        return cls(Path(path), data)
+
+    @classmethod
+    def for_plan(cls, path: Path, plan: CampaignPlan) -> "CampaignManifest":
+        """Load-or-create, reconciled against the current plan.
+
+        An existing manifest keeps its completion set only where it is
+        still meaningful: hashes that the current plan still wants,
+        written by the current code version.  A plan change (different
+        grids, new experiments) keeps the overlap; a code-version
+        change resets completion entirely — the cache generation those
+        points lived in is stranded anyway.
+        """
+        existing = cls.load(path)
+        manifest = cls.fresh(path, plan)
+        if existing is None:
+            return manifest
+        if existing.data.get("code_version") != code_version():
+            manifest.data["runs"] = list(existing.data.get("runs") or [])
+            manifest.data["notes"] = [
+                "completion reset: manifest was written by code version "
+                f"{existing.data.get('code_version')!r}"
+            ]
+            return manifest
+        wanted = set(plan.jobs)
+        manifest.data["runs"] = list(existing.data.get("runs") or [])
+        manifest.data["created"] = existing.data.get(
+            "created", manifest.data["created"]
+        )
+        manifest.data["completed"] = sorted(
+            h for h in existing.data.get("completed") or [] if h in wanted
+        )
+        manifest.refresh_status()
+        return manifest
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def completed(self) -> List[str]:
+        return list(self.data.get("completed") or [])
+
+    @property
+    def status(self) -> str:
+        return self.data.get("status", "planned")
+
+    def refresh_status(self) -> None:
+        done = len(self.data.get("completed") or [])
+        total = self.data.get("total_points") or 0
+        if done >= total and total > 0:
+            self.data["status"] = "complete"
+        elif done > 0:
+            self.data["status"] = "running"
+        else:
+            self.data["status"] = "planned"
+
+    def mark_completed(self, job_hashes: List[str]) -> None:
+        completed = set(self.data.get("completed") or [])
+        completed.update(job_hashes)
+        self.data["completed"] = sorted(completed)
+        self.refresh_status()
+
+    def record_run(self, stats: CampaignRunStats) -> None:
+        self.data.setdefault("runs", []).append(
+            {"finished": _utc_now(), **stats.as_dict()}
+        )
+
+    def experiment_progress(self) -> List[Dict[str, Any]]:
+        """Per-experiment completion counts (for ``campaign status``)."""
+        completed = set(self.completed)
+        progress = []
+        for experiment in self.data.get("experiments") or []:
+            hashes = set(experiment.get("job_hashes") or [])
+            progress.append(
+                {
+                    "name": experiment.get("name"),
+                    "kind": experiment.get("kind"),
+                    "points": len(hashes),
+                    "completed": len(hashes & completed),
+                }
+            )
+        return progress
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.data, indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def manifest_path(name: str, directory=None) -> Path:
+    return campaign_dir(directory) / name / MANIFEST_NAME
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory=None,
+    scale: Optional[float] = None,
+    n_jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir=None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    progress=None,
+) -> CampaignRunResult:
+    """Run (or resume) a campaign to completion.
+
+    Interrupting mid-run is safe at any point: the manifest checkpoints
+    after every batch, so the next invocation resubmits only the
+    points that were not yet complete.  ``progress`` is an optional
+    ``callable(str)`` for per-batch status lines (the CLI passes
+    ``print``).
+    """
+    plan = plan_campaign(spec, scale=scale)
+    manifest = CampaignManifest.for_plan(
+        manifest_path(spec.name, directory), plan
+    )
+    stats = CampaignRunStats(total_points=plan.total_points)
+
+    completed = set(manifest.completed)
+    pending = [h for h in plan.jobs if h not in completed]
+    stats.previously_complete = plan.total_points - len(pending)
+
+    batch_size = max(1, int(batch_size))
+    try:
+        for start in range(0, len(pending), batch_size):
+            batch = pending[start:start + batch_size]
+            run_jobs(
+                [plan.jobs[job_hash] for job_hash in batch],
+                n_jobs=n_jobs,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
+            )
+            batch_stats = run_jobs.last_stats
+            stats.batches += 1
+            stats.submitted += len(batch)
+            stats.simulated += batch_stats.simulated
+            stats.cache_hits += batch_stats.cache_hits
+            manifest.mark_completed(batch)
+            manifest.save()
+            if progress is not None:
+                done = len(manifest.completed)
+                progress(
+                    f"[{plan.spec.name}] {done}/{plan.total_points} points "
+                    f"({batch_stats.simulated} simulated, "
+                    f"{batch_stats.cache_hits} cached this batch)"
+                )
+    finally:
+        manifest.record_run(stats)
+        manifest.refresh_status()
+        manifest.save()
+
+    # Annotate only when this run did work: a zero-submission resume
+    # (status checks, the CI resume-noop step) must not append another
+    # full copy of the annotation set to the generation's index.
+    if use_cache and stats.submitted:
+        _annotate_provenance(plan, cache_dir)
+    return CampaignRunResult(
+        plan=plan,
+        manifest_path=manifest.path,
+        stats=stats,
+        complete=manifest.status == "complete",
+    )
+
+
+def _annotate_provenance(plan: CampaignPlan, cache_dir=None) -> None:
+    """Tag the result-cache index with experiment attributions."""
+    cache = ResultCache(cache_dir)
+    for experiment in plan.experiments:
+        cache.annotate(sorted(set(experiment.job_hashes)), experiment.name)

@@ -1,0 +1,169 @@
+"""Campaign reports: per-experiment rows, slowdown panels, cache stats.
+
+A report is assembled *from the drivers*, not from raw cache entries:
+each experiment's ``run()`` is re-invoked with the campaign's exact
+parameters, which on a completed campaign is a pure warm-cache replay
+(``simulated == 0``) — the report generator proves its own freshness
+by recording the executor stats of every replay.
+
+The JSON form is the full structure; the markdown form renders each
+experiment's main rows, one table per stress-family panel (rows tagged
+``"panel"``), and a worst-case slowdown summary per experiment
+(relative performance < 100 means the scheme slowed the workload
+down).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Dict, List
+
+from repro.analysis.report import markdown_table
+from repro.campaigns.executor import CampaignManifest, manifest_path
+from repro.campaigns.spec import CampaignError, CampaignSpec
+from repro.engine.executor import run_jobs
+
+
+def _rel_perf_keys(row: Dict[str, Any]) -> List[str]:
+    return [
+        key for key, value in row.items()
+        if key.endswith("rel_perf_pct") and isinstance(value, (int, float))
+    ]
+
+
+def _slowdown_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Worst relative performance per metric across ``rows``."""
+    worst: Dict[str, float] = {}
+    for row in rows:
+        for key in _rel_perf_keys(row):
+            value = float(row[key])
+            if key not in worst or value < worst[key]:
+                worst[key] = value
+    return {
+        key: {
+            "worst_rel_perf_pct": round(value, 3),
+            "max_slowdown_pct": round(100.0 - value, 3),
+        }
+        for key, value in sorted(worst.items())
+    }
+
+
+def build_report(
+    spec: CampaignSpec,
+    directory=None,
+    n_jobs: int = 1,
+    use_cache: bool = True,
+) -> Dict[str, Any]:
+    """Assemble the report dict for a campaign.
+
+    Requires the campaign's manifest to exist (``campaign run`` first;
+    an incomplete campaign reports, but the replay simulates whatever
+    is missing).
+    """
+    manifest = CampaignManifest.load(manifest_path(spec.name, directory))
+    if manifest is None:
+        raise CampaignError(
+            f"campaign {spec.name!r} has no manifest yet — "
+            "run `repro campaign run` (or `plan`) first"
+        )
+    from repro.experiments.runner import EXPERIMENTS
+
+    experiments = []
+    for experiment in manifest.data.get("experiments") or []:
+        kind = experiment["kind"]
+        module = importlib.import_module(EXPERIMENTS[kind][0])
+        rows = module.run(
+            n_jobs=n_jobs, use_cache=use_cache,
+            **{k: v for k, v in (experiment.get("params") or {}).items()},
+        )
+        replay_stats = run_jobs.last_stats
+        main_rows = [row for row in rows if "panel" not in row]
+        panels: Dict[str, List[Dict[str, Any]]] = {}
+        for row in rows:
+            if "panel" in row:
+                panels.setdefault(row["panel"], []).append(row)
+        experiments.append(
+            {
+                "name": experiment["name"],
+                "kind": kind,
+                "params": experiment.get("params") or {},
+                "rows": main_rows,
+                "panels": panels,
+                "slowdowns": _slowdown_summary(main_rows),
+                "panel_slowdowns": {
+                    family: _slowdown_summary(panel_rows)
+                    for family, panel_rows in panels.items()
+                },
+                "replay": {
+                    "simulated": replay_stats.simulated,
+                    "cache_hits": replay_stats.cache_hits,
+                    "unique_points": replay_stats.unique,
+                },
+            }
+        )
+    return {
+        "campaign": spec.name,
+        "description": manifest.data.get("description", spec.description),
+        "status": manifest.status,
+        "code_version": manifest.data.get("code_version"),
+        "total_points": manifest.data.get("total_points"),
+        "completed_points": len(manifest.completed),
+        "runs": manifest.data.get("runs") or [],
+        "experiments": experiments,
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Render a report dict as markdown."""
+    lines = [
+        f"# Campaign report: {report['campaign']}",
+        "",
+        report.get("description") or "",
+        "",
+        f"- status: **{report['status']}** "
+        f"({report['completed_points']}/{report['total_points']} points)",
+        f"- code version: `{report.get('code_version')}`",
+    ]
+    runs = report.get("runs") or []
+    if runs:
+        total_sim = sum(r.get("simulated", 0) for r in runs)
+        total_hits = sum(r.get("cache_hits", 0) for r in runs)
+        lines.append(
+            f"- executor history: {len(runs)} run(s), "
+            f"{total_sim} point(s) simulated, "
+            f"{total_hits} served from cache"
+        )
+    for experiment in report.get("experiments") or []:
+        replay = experiment.get("replay") or {}
+        lines += [
+            "",
+            f"## {experiment['name']} ({experiment['kind']})",
+            "",
+            f"report replay: {replay.get('simulated', '?')} simulated, "
+            f"{replay.get('cache_hits', '?')} cache hits over "
+            f"{replay.get('unique_points', '?')} unique points",
+            "",
+            markdown_table(experiment.get("rows") or []),
+        ]
+        for metric, summary in (experiment.get("slowdowns") or {}).items():
+            lines.append(
+                f"- worst `{metric}`: {summary['worst_rel_perf_pct']} "
+                f"(slowdown {summary['max_slowdown_pct']}%)"
+            )
+        for family, rows in (experiment.get("panels") or {}).items():
+            lines += [
+                "",
+                f"### panel: {family}",
+                "",
+                markdown_table(rows),
+            ]
+            family_summary = (
+                experiment.get("panel_slowdowns") or {}
+            ).get(family) or {}
+            for metric, summary in family_summary.items():
+                lines.append(
+                    f"- worst `{metric}`: "
+                    f"{summary['worst_rel_perf_pct']} "
+                    f"(slowdown {summary['max_slowdown_pct']}%)"
+                )
+    return "\n".join(lines) + "\n"

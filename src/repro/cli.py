@@ -5,14 +5,23 @@ Commands
 experiment <id>     Run a paper experiment (fig2, fig6, ..., table4).
                     ``--jobs N`` fans simulation jobs out over N worker
                     processes; ``--no-cache`` bypasses the on-disk
-                    result cache (see docs/ENGINE.md).
+                    result cache (see docs/ENGINE.md);
+                    ``--extra-workloads`` adds stress-family panels to
+                    the drivers that support them (fig9, fig11).
 list                List available experiments.
 safety <scheme>     Replay an attack against a scheme and report.
 configure           Print safe Mithril configurations for a FlipTH.
 schemes             List registered protection schemes.
-cache               Show (or clear / --gc) the simulation result cache.
+cache               Show (or clear / --gc / --migrate) the simulation
+                    result cache; ``--stats`` for per-generation
+                    size/age, ``--query`` against the sharded index.
+campaign <cmd>      Declarative multi-experiment campaigns: list,
+                    plan, run (resumable), status, report
+                    (docs/CAMPAIGNS.md).
 bench-speed         Time simulate() on a preset; append to the
-                    BENCH_SIM_SPEED.json speed trajectory.
+                    BENCH_SIM_SPEED.json speed trajectory
+                    (``*-controlled`` labels are policed; see
+                    --allow-uncontrolled).
 profile             cProfile one workload x scheme simulation.
 traces <cmd>        Trace foundry: ingest external traces, synthesize
                     stress families, characterize ACT streams
@@ -50,12 +59,24 @@ def _cmd_schemes(_args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    import inspect
+
     module = importlib.import_module(EXPERIMENTS[args.id][0])
     kwargs = {
         "scale": args.scale,
         "n_jobs": args.jobs,
         "use_cache": not args.no_cache,
     }
+    if args.extra_workloads:
+        if "extra_workloads" not in inspect.signature(
+            module.run
+        ).parameters:
+            print(
+                f"experiment {args.id!r} does not support "
+                "--extra-workloads (fig9 and fig11 do)"
+            )
+            return 1
+        kwargs["extra_workloads"] = tuple(args.extra_workloads)
     result = module.run(**kwargs)
     if args.json:
         print(json.dumps(result, indent=2, default=str))
@@ -116,6 +137,80 @@ def _cmd_configure(args) -> int:
     return 0
 
 
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (
+                f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+            )
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def _format_mtime(mtime) -> str:
+    import time
+
+    if mtime is None:
+        return "-"
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(mtime))
+
+
+def _cmd_cache_stats(cache, live: str) -> int:
+    stats = cache.stats()
+    if not stats:
+        print("cache is empty")
+        return 0
+    print(f"{'generation':<18} {'entries':>8} {'bytes':>10} "
+          f"{'oldest':>20} {'newest':>20}")
+    for version, gen in stats.items():
+        marker = " (live)" if version == live else ""
+        print(
+            f"{version:<18} {gen.entries:>8} "
+            f"{_format_bytes(gen.total_bytes):>10} "
+            f"{_format_mtime(gen.oldest_mtime):>20} "
+            f"{_format_mtime(gen.newest_mtime):>20}{marker}"
+        )
+    return 0
+
+
+def _cmd_cache_query(cache, live: str, query: str) -> int:
+    criteria = {}
+    for clause in query.split(","):
+        if "=" not in clause:
+            print(f"bad query clause {clause!r}; use key=value "
+                  "(keys: scheme, workload, experiment, flip_th)")
+            return 1
+        key, value = clause.split("=", 1)
+        key = key.strip()
+        if key not in ("scheme", "workload", "experiment", "flip_th"):
+            print(f"unknown query key {key!r}; "
+                  "use scheme, workload, experiment, or flip_th")
+            return 1
+        if key == "flip_th":
+            try:
+                criteria[key] = int(value)
+            except ValueError:
+                print(f"flip_th must be an integer, got {value!r}")
+                return 1
+        else:
+            criteria[key] = value.strip()
+    records = cache.index(live).query(**criteria)
+    total = sum(int(r.get("bytes") or 0) for r in records)
+    print(f"{len(records)} entr{'y' if len(records) == 1 else 'ies'} "
+          f"({_format_bytes(total)}) in generation {live} matching "
+          + ",".join(f"{k}={v}" for k, v in criteria.items()))
+    by_scheme = {}
+    for record in records:
+        key = (record.get("scheme"), record.get("workload"))
+        by_scheme[key] = by_scheme.get(key, 0) + 1
+    for (scheme, workload), count in sorted(
+        by_scheme.items(), key=lambda item: str(item[0])
+    ):
+        print(f"  {scheme or '?':<14} {workload or '?':<26} {count:>6}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.engine import ResultCache, code_version
 
@@ -123,6 +218,17 @@ def _cmd_cache(args) -> int:
     if args.clear:
         removed = cache.clear()
         print(f"removed {removed} cached result(s)")
+        return 0
+    if args.stats:
+        return _cmd_cache_stats(cache, code_version())
+    if args.query:
+        return _cmd_cache_query(cache, code_version(), args.query)
+    if args.migrate:
+        moved = cache.migrate()
+        print(f"moved {moved} flat entr{'y' if moved == 1 else 'ies'} "
+              "into shards (index rebuilt)" if moved else
+              "nothing to migrate (no flat entries in the live "
+              "generation)")
         return 0
     if args.gc:
         if args.gc == "stale":
@@ -150,13 +256,209 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_bench_speed(args) -> int:
-    from repro.speed import run_and_report
+    from repro.speed import UncontrolledSpeedClaim, run_and_report
 
-    run_and_report(
-        args.preset,
-        args.label,
-        output=None if args.output == "-" else args.output,
+    try:
+        run_and_report(
+            args.preset,
+            args.label,
+            output=None if args.output == "-" else args.output,
+            allow_uncontrolled=args.allow_uncontrolled,
+        )
+    except UncontrolledSpeedClaim as error:
+        print(f"refusing to record: {error}")
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# campaign — declarative multi-experiment campaigns (docs/CAMPAIGNS.md)
+# ----------------------------------------------------------------------
+
+
+def _cmd_campaign_list(_args) -> int:
+    from repro.campaigns import builtin_campaigns
+
+    for name, spec in sorted(builtin_campaigns().items()):
+        print(f"{name:<14} {spec.description}")
+        for experiment in spec.experiments:
+            print(f"  {experiment.name:<18} ({experiment.kind})")
+    return 0
+
+
+def _print_plan_summary(summary) -> None:
+    print(f"campaign: {summary['campaign']}")
+    print(f"{'experiment':<20} {'driver':<8} {'points':>7}")
+    for experiment in summary["experiments"]:
+        print(f"{experiment['name']:<20} {experiment['kind']:<8} "
+              f"{experiment['points']:>7}")
+    print(f"{'TOTAL (requested)':<29} {summary['requested_points']:>7}")
+    print(f"{'TOTAL (deduplicated)':<29} {summary['total_points']:>7}")
+    print(f"{'shared across experiments':<29} "
+          f"{summary['shared_points']:>7}")
+
+
+def _cmd_campaign_plan(args) -> int:
+    from repro.campaigns import CampaignError, get_campaign, plan_campaign
+
+    try:
+        spec = get_campaign(args.name)
+        plan = plan_campaign(spec, scale=args.scale)
+    except CampaignError as error:
+        print(error)
+        return 1
+    if args.json:
+        print(json.dumps(plan.summary(), indent=2))
+        return 0
+    _print_plan_summary(plan.summary())
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaigns import (
+        CampaignError,
+        CampaignManifest,
+        build_report,
+        format_report,
+        get_campaign,
+        manifest_path,
+        plan_campaign,
+        run_campaign,
     )
+
+    try:
+        spec = get_campaign(args.name)
+    except CampaignError as error:
+        print(error)
+        return 1
+    if args.dry_run:
+        try:
+            plan = plan_campaign(spec, scale=args.scale)
+        except CampaignError as error:
+            print(error)
+            return 1
+        _print_plan_summary(plan.summary())
+        # the same reconciliation a real run applies (for_plan drops
+        # completion written by other code versions or stale plans),
+        # so the predicted pending count matches what run would do —
+        # without writing anything back.
+        manifest = CampaignManifest.for_plan(
+            manifest_path(spec.name, args.dir), plan
+        )
+        done = len(manifest.completed)
+        print(f"dry run: would submit {plan.total_points - done} "
+              f"point(s) ({done} already complete)")
+        return 0
+    try:
+        result = run_campaign(
+            spec,
+            directory=args.dir,
+            scale=args.scale,
+            n_jobs=args.jobs,
+            use_cache=not args.no_cache,
+            batch_size=args.batch_size,
+            progress=print,
+        )
+    except CampaignError as error:
+        print(error)
+        return 1
+    stats = result.stats
+    print(
+        f"campaign {spec.name!r}: {stats.submitted} submitted "
+        f"({stats.previously_complete} already complete), "
+        f"{stats.simulated} simulated, {stats.cache_hits} cache hits"
+    )
+    print(f"manifest: {result.manifest_path}")
+    if result.complete and not args.no_report:
+        report = build_report(
+            spec, directory=args.dir, n_jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
+        report_dir = result.manifest_path.parent
+        (report_dir / "report.json").write_text(
+            json.dumps(report, indent=2, default=str) + "\n"
+        )
+        (report_dir / "report.md").write_text(format_report(report))
+        print(f"report: {report_dir / 'report.md'}")
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaigns import (
+        CampaignError,
+        CampaignManifest,
+        get_campaign,
+        manifest_path,
+    )
+
+    try:
+        spec = get_campaign(args.name)
+    except CampaignError as error:
+        print(error)
+        return 1
+    manifest = CampaignManifest.load(manifest_path(spec.name, args.dir))
+    if manifest is None:
+        print(f"campaign {spec.name!r} has never run "
+              "(no manifest on disk)")
+        return 1
+    if args.json:
+        payload = {
+            "campaign": manifest.data.get("campaign"),
+            "status": manifest.status,
+            "total_points": manifest.data.get("total_points"),
+            "completed_points": len(manifest.completed),
+            "code_version": manifest.data.get("code_version"),
+            "experiments": manifest.experiment_progress(),
+            "runs": manifest.data.get("runs") or [],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    total = manifest.data.get("total_points") or 0
+    done = len(manifest.completed)
+    print(f"campaign:   {manifest.data.get('campaign')}")
+    print(f"status:     {manifest.status} ({done}/{total} points)")
+    print(f"code ver:   {manifest.data.get('code_version')}")
+    for experiment in manifest.experiment_progress():
+        print(f"  {experiment['name']:<20} ({experiment['kind']}) "
+              f"{experiment['completed']}/{experiment['points']}")
+    runs = manifest.data.get("runs") or []
+    if runs:
+        last = runs[-1]
+        print(f"last run:   {last.get('finished')} — "
+              f"{last.get('simulated', 0)} simulated, "
+              f"{last.get('cache_hits', 0)} cache hits")
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    from repro.campaigns import (
+        CampaignError,
+        build_report,
+        format_report,
+        get_campaign,
+    )
+
+    try:
+        spec = get_campaign(args.name)
+        report = build_report(
+            spec, directory=args.dir, n_jobs=args.jobs,
+        )
+    except CampaignError as error:
+        print(error)
+        return 1
+    rendered = (
+        json.dumps(report, indent=2, default=str)
+        if args.json else format_report(report)
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(rendered + (
+            "" if rendered.endswith("\n") else "\n"
+        ))
+        print(f"wrote {args.output}")
+        return 0
+    print(rendered)
     return 0
 
 
@@ -401,6 +703,10 @@ def main(argv=None) -> int:
                             "at any setting)")
     p_exp.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk simulation result cache")
+    p_exp.add_argument("--extra-workloads", nargs="+", metavar="KIND",
+                       help="extra workload kinds evaluated as "
+                            "per-kind panels (fig9/fig11; e.g. the "
+                            "stress families)")
     p_exp.add_argument("--json", action="store_true",
                        help="emit raw JSON rows")
     p_exp.add_argument("--markdown", action="store_true",
@@ -429,7 +735,82 @@ def main(argv=None) -> int:
     p_cache.add_argument("--gc", metavar="VERSION",
                          help="delete one dead code-version generation "
                               "('stale' = every non-live generation)")
+    p_cache.add_argument("--stats", action="store_true",
+                         help="per-generation entry count, bytes, and "
+                              "oldest/newest entry times")
+    p_cache.add_argument("--query", metavar="KEY=VALUE[,KEY=VALUE]",
+                         help="count entries in the live generation by "
+                              "scheme/workload/experiment/flip_th "
+                              "(served from the sharded index)")
+    p_cache.add_argument("--migrate", action="store_true",
+                         help="move flat legacy entries of the live "
+                              "generation into sharded directories")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="declarative multi-experiment campaigns (docs/CAMPAIGNS.md)",
+    )
+    csub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+
+    c_list = csub.add_parser("list", help="list built-in campaigns")
+    c_list.set_defaults(func=_cmd_campaign_list)
+
+    def _campaign_common(parser, with_scale=False):
+        parser.add_argument("name",
+                            help="built-in campaign name or spec .json")
+        parser.add_argument("--dir", default=None,
+                            help="campaign state directory (default "
+                                 "REPRO_CAMPAIGN_DIR or "
+                                 "~/.cache/repro/campaigns)")
+        if with_scale:
+            parser.add_argument("--scale", type=float, default=None,
+                                help="override every experiment's "
+                                     "trace-length scale")
+
+    c_plan = csub.add_parser(
+        "plan", help="expand a campaign into its deduplicated job pool"
+    )
+    _campaign_common(c_plan, with_scale=True)
+    c_plan.add_argument("--json", action="store_true")
+    c_plan.set_defaults(func=_cmd_campaign_plan)
+
+    c_run = csub.add_parser(
+        "run", help="run (or resume) a campaign; checkpoints per batch"
+    )
+    _campaign_common(c_run, with_scale=True)
+    c_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per batch")
+    c_run.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache (resume still "
+                            "skips manifest-completed points)")
+    c_run.add_argument("--batch-size", type=int, default=16,
+                       help="points per manifest checkpoint "
+                            "(default 16)")
+    c_run.add_argument("--dry-run", action="store_true",
+                       help="print the plan and pending-point count "
+                            "without simulating")
+    c_run.add_argument("--no-report", action="store_true",
+                       help="skip writing report.md/report.json on "
+                            "completion")
+    c_run.set_defaults(func=_cmd_campaign_run)
+
+    c_status = csub.add_parser(
+        "status", help="progress of a campaign from its manifest"
+    )
+    _campaign_common(c_status)
+    c_status.add_argument("--json", action="store_true")
+    c_status.set_defaults(func=_cmd_campaign_status)
+
+    c_report = csub.add_parser(
+        "report", help="render the campaign report (markdown or JSON)"
+    )
+    _campaign_common(c_report)
+    c_report.add_argument("--jobs", type=int, default=1)
+    c_report.add_argument("--json", action="store_true")
+    c_report.add_argument("--output", default=None,
+                          help="write to a file instead of stdout")
+    c_report.set_defaults(func=_cmd_campaign_report)
 
     from repro.speed import preset_names
 
@@ -442,6 +823,10 @@ def main(argv=None) -> int:
                          help="entry label (e.g. baseline / optimized)")
     p_bench.add_argument("--output", default="BENCH_SIM_SPEED.json",
                          help="trajectory file to append to ('-' = none)")
+    p_bench.add_argument("--allow-uncontrolled", action="store_true",
+                         help="record a *-controlled entry even without "
+                              "its back-to-back baseline-controlled "
+                              "partner (warns instead of refusing)")
     p_bench.set_defaults(func=_cmd_bench_speed)
 
     p_prof = sub.add_parser(

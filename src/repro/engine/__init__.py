@@ -45,6 +45,7 @@ from repro.engine.catalog import (
 from repro.engine.executor import RunStats, execute_job, run_jobs
 from repro.engine.job import SimJob, WorkloadSpec, freeze_params
 from repro.engine.plan import JobPlan, PlanResults
+from repro.engine.store import CacheIndex, GenerationStats
 
 __all__ = [
     "SimJob",
@@ -56,6 +57,8 @@ __all__ = [
     "run_jobs",
     "execute_job",
     "ResultCache",
+    "CacheIndex",
+    "GenerationStats",
     "default_cache_dir",
     "code_version",
     "result_to_dict",

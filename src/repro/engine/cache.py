@@ -2,7 +2,17 @@
 
 Completed simulation points are stored as JSON under::
 
-    <cache dir>/<code version>/<job hash>.json
+    <cache dir>/<code version>/<hh>/<job hash>.json
+
+where ``hh`` is the two-hex-character shard prefix of the job hash
+(:mod:`repro.engine.store`); entries written by pre-sharding versions
+of this module sit flat in the generation directory and are still
+found, counted, and garbage-collected — :meth:`ResultCache.migrate`
+moves them into shards without changing their hashes, so nothing is
+invalidated.  Each generation also carries an ``index.jsonl``
+(:class:`~repro.engine.store.CacheIndex`) answering count/size/query
+by scheme, workload, FlipTH, or campaign experiment without opening
+entry files.
 
 The *code version* is a hash over every ``*.py`` file of the ``repro``
 package plus an explicit schema salt, so any change to the simulator,
@@ -26,9 +36,19 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.engine.job import SimJob
+from repro.engine.store import (
+    INDEX_NAME,
+    CacheIndex,
+    GenerationStats,
+    count_entries,
+    is_shard_dir,
+    iter_entry_paths,
+    record_for_put,
+    shard_name,
+)
 from repro.sim.metrics import SimulationResult
 from repro.types import EnergyCounts
 
@@ -87,18 +107,35 @@ class ResultCache:
             Path(directory) if directory is not None else default_cache_dir()
         )
 
+    def version_dir(self, version: Optional[str] = None) -> Path:
+        return self.directory / (version or code_version())
+
     def path_for(self, job: SimJob) -> Path:
-        return self.directory / code_version() / f"{job.job_hash()}.json"
+        """The sharded entry path (where new writes go)."""
+        job_hash = job.job_hash()
+        return (
+            self.version_dir() / shard_name(job_hash) / f"{job_hash}.json"
+        )
+
+    def flat_path_for(self, job: SimJob) -> Path:
+        """The pre-sharding flat path (legacy caches, read-only)."""
+        return self.version_dir() / f"{job.job_hash()}.json"
 
     def get(self, job: SimJob) -> Optional[SimulationResult]:
-        """The cached result for ``job``, or None (corrupt files miss)."""
-        path = self.path_for(job)
-        try:
-            with path.open() as handle:
-                record = json.load(handle)
-            return result_from_dict(record["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
+        """The cached result for ``job``, or None (corrupt files miss).
+
+        Looks in the sharded location first, then falls back to the
+        flat legacy layout, so caches written before sharding keep
+        serving hits without migration.
+        """
+        for path in (self.path_for(job), self.flat_path_for(job)):
+            try:
+                with path.open() as handle:
+                    record = json.load(handle)
+                return result_from_dict(record["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return None
 
     def put(self, job: SimJob, result: SimulationResult) -> None:
         """Store a result; an unwritable cache degrades to a no-op."""
@@ -113,14 +150,12 @@ class ResultCache:
                 json.dump(record, handle)
             os.replace(tmp, path)
         except OSError:
-            pass
+            return
+        self.index_for_version().append(record_for_put(job, path))
 
-    def entry_count(self) -> int:
-        """Number of cached results for the current code version."""
-        version_dir = self.directory / code_version()
-        if not version_dir.is_dir():
-            return 0
-        return sum(1 for _ in version_dir.glob("*.json"))
+    def entry_count(self, version: Optional[str] = None) -> int:
+        """Number of cached results for one generation (default live)."""
+        return count_entries(self.version_dir(version))
 
     def versions(self) -> Dict[str, int]:
         """Entry counts per code-version generation present on disk.
@@ -133,10 +168,82 @@ class ResultCache:
         if not self.directory.is_dir():
             return {}
         return {
-            child.name: sum(1 for _ in child.glob("*.json"))
+            child.name: count_entries(child)
             for child in sorted(self.directory.iterdir())
             if child.is_dir()
         }
+
+    # -- index, stats, migration --------------------------------------
+
+    def index_for_version(self, version: Optional[str] = None) -> CacheIndex:
+        """The raw (possibly stale) index of one generation."""
+        return CacheIndex(self.version_dir(version))
+
+    def index(self, version: Optional[str] = None) -> CacheIndex:
+        """A fresh index for one generation, rebuilt if it disagrees
+        with the entry files on disk (lost index, manual deletions,
+        flat legacy layouts that never had one)."""
+        index = self.index_for_version(version)
+        if not index.is_fresh():
+            index.rebuild()
+        return index
+
+    def stats(self) -> Dict[str, GenerationStats]:
+        """Per-generation entry count / bytes / oldest & newest mtime.
+
+        Served from each generation's index (rebuilt when stale), so
+        repeated stats calls on a large cache never rescan entries.
+        """
+        if not self.directory.is_dir():
+            return {}
+        return {
+            child.name: self.index(child.name).stats()
+            for child in sorted(self.directory.iterdir())
+            if child.is_dir()
+        }
+
+    def annotate(
+        self,
+        job_hashes: Iterable[str],
+        experiment: str,
+        version: Optional[str] = None,
+    ) -> None:
+        """Tag entries with a campaign-experiment attribution.
+
+        Appends annotation records that merge into the index (the
+        ``experiments`` field unions), enabling
+        ``query(experiment=...)``.  Annotations are advisory — an index
+        rebuild drops them until the next campaign run re-appends.
+        """
+        self.index_for_version(version).append_many(
+            {"hash": job_hash, "experiments": [experiment]}
+            for job_hash in job_hashes
+        )
+
+    def migrate(self, version: Optional[str] = None) -> int:
+        """Move one generation's flat legacy entries into shards.
+
+        Hashes (and therefore keys) are untouched — nothing is
+        invalidated; the index is rebuilt afterwards.  Returns the
+        number of entries moved.
+        """
+        version_dir = self.version_dir(version)
+        if not version_dir.is_dir():
+            return 0
+        moved = 0
+        for path in sorted(version_dir.glob("*.json")):
+            if not path.is_file():
+                continue
+            target = version_dir / shard_name(path.stem) / path.name
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+                moved += 1
+            except OSError:
+                pass
+        if moved:
+            self.index_for_version(version).rebuild()
+        return moved
 
     def gc(self, version: str) -> int:
         """Delete one dead generation's entries; returns the count.
@@ -163,16 +270,13 @@ class ResultCache:
         if not version_dir.is_dir():
             return 0
         removed = 0
-        for path in version_dir.glob("*.json"):
+        for path in list(iter_entry_paths(version_dir)):
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
-        try:
-            version_dir.rmdir()
-        except OSError:
-            pass
+        self._remove_generation_scaffolding(version_dir)
         return removed
 
     def gc_stale(self) -> int:
@@ -194,4 +298,26 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for child in self.directory.iterdir():
+            if child.is_dir():
+                self._remove_generation_scaffolding(child)
         return removed
+
+    def _remove_generation_scaffolding(self, version_dir: Path) -> None:
+        """Drop a generation's index and emptied shard/version dirs."""
+        try:
+            (version_dir / INDEX_NAME).unlink()
+        except OSError:
+            pass
+        for child in list(version_dir.iterdir()) if (
+            version_dir.is_dir()
+        ) else []:
+            if is_shard_dir(child):
+                try:
+                    child.rmdir()
+                except OSError:
+                    pass
+        try:
+            version_dir.rmdir()
+        except OSError:
+            pass

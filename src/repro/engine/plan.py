@@ -54,6 +54,16 @@ class JobPlan:
     def __len__(self) -> int:
         return len(self._jobs)
 
+    @property
+    def jobs(self) -> List[SimJob]:
+        """The registered jobs, in registration order (a copy).
+
+        The export surface behind every driver's ``plan_jobs()`` — the
+        campaign planner reuses a driver's exact job list without
+        running anything.
+        """
+        return list(self._jobs)
+
     def run(
         self,
         n_jobs: int = 1,

@@ -10,7 +10,7 @@ Panel (e): table-size comparison (from the analytic area model).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.area import blockhammer_table_kb, mithril_table_kb
 from repro.analysis.energy import energy_overhead_percent
@@ -29,14 +29,13 @@ DEFAULT_SCHEMES = ("parfm", "blockhammer", "mithril", "mithril+")
 ATTACK_KINDS = ("multi-sided", "bh-adversarial")
 
 
-def run(
+def build_plan(
     flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     scale: float = 1.0,
     attack_seeds: Sequence[int] = ATTACK_SEEDS,
-    n_jobs: int = 1,
-    use_cache: bool = True,
-) -> List[Dict]:
+) -> Tuple[JobPlan, Dict]:
+    """(plan, context) for one sweep — jobs keyed for row assembly."""
     benign_specs = normal_workload_specs(scale)
 
     plan = JobPlan()
@@ -72,9 +71,26 @@ def run(
                         scale=scale,
                     ),
                 )
+    return plan, {"benign_specs": benign_specs}
 
+
+def plan_jobs(**kwargs) -> List[SimJob]:
+    """The sweep's job list (campaign planner export)."""
+    return build_plan(**kwargs)[0].jobs
+
+
+def run(
+    flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    scale: float = 1.0,
+    attack_seeds: Sequence[int] = ATTACK_SEEDS,
+    n_jobs: int = 1,
+    use_cache: bool = True,
+) -> List[Dict]:
+    plan, context = build_plan(flip_thresholds, schemes, scale, attack_seeds)
     res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
 
+    benign_specs = context["benign_specs"]
     rows = []
     for flip_th in flip_thresholds:
         for scheme in schemes:

@@ -3,16 +3,26 @@
 PARA, CBT, TWiCe, Graphene vs Mithril and Mithril+: relative
 performance on normal workloads and under the multi-sided attack, plus
 dynamic-energy overhead on normal workloads.
+
+``extra_workloads`` names additional catalog kinds — typically the
+trace-foundry stress families — evaluated as extra per-workload
+panels: each kind gets its own unprotected baseline and, per
+(FlipTH, scheme), a relative-performance/energy row tagged
+``"panel": <kind>``.
+
+The job list is exported through :func:`build_plan` /
+:func:`plan_jobs` for campaign planners (docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.energy import energy_overhead_percent
 from repro.engine import (
     JobPlan,
     SimJob,
+    WorkloadSpec,
     attack_workload_spec,
     normal_workload_specs,
 )
@@ -23,19 +33,25 @@ from repro.params import PAPER_FLIP_THRESHOLDS
 DEFAULT_SCHEMES = ("para", "cbt", "twice", "graphene", "mithril", "mithril+")
 
 
-def run(
+def build_plan(
     flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     scale: float = 1.0,
     attack_seeds: Sequence[int] = ATTACK_SEEDS,
-    n_jobs: int = 1,
-    use_cache: bool = True,
-) -> List[Dict]:
+    extra_workloads: Sequence[str] = (),
+) -> Tuple[JobPlan, Dict]:
+    """(plan, context) for one sweep — jobs keyed for row assembly."""
     benign_specs = normal_workload_specs(scale)
+    extra_specs = {
+        kind: WorkloadSpec.make(kind, scale=scale)
+        for kind in extra_workloads
+    }
 
     plan = JobPlan()
     for name, spec in benign_specs.items():
         plan.add(("benign-base", name), SimJob(workload=spec))
+    for kind, spec in extra_specs.items():
+        plan.add(("panel-base", kind), SimJob(workload=spec))
     for flip_th in flip_thresholds:
         attack_specs = {
             seed: attack_workload_spec(
@@ -65,9 +81,39 @@ def run(
                         scale=scale,
                     ),
                 )
+            for kind, spec in extra_specs.items():
+                plan.add(
+                    ("panel", flip_th, scheme, kind),
+                    SimJob(
+                        workload=spec, scheme=scheme, flip_th=flip_th,
+                        scale=scale,
+                    ),
+                )
+    context = {"benign_specs": benign_specs, "extra_specs": extra_specs}
+    return plan, context
 
+
+def plan_jobs(**kwargs) -> List[SimJob]:
+    """The sweep's job list (campaign planner export)."""
+    return build_plan(**kwargs)[0].jobs
+
+
+def run(
+    flip_thresholds: Sequence[int] = PAPER_FLIP_THRESHOLDS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    scale: float = 1.0,
+    attack_seeds: Sequence[int] = ATTACK_SEEDS,
+    n_jobs: int = 1,
+    use_cache: bool = True,
+    extra_workloads: Sequence[str] = (),
+) -> List[Dict]:
+    plan, context = build_plan(
+        flip_thresholds, schemes, scale, attack_seeds, extra_workloads
+    )
     res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
 
+    benign_specs = context["benign_specs"]
+    extra_specs = context["extra_specs"]
     rows = []
     for flip_th in flip_thresholds:
         for scheme in schemes:
@@ -97,6 +143,28 @@ def run(
                     "normal_energy_overhead_pct": round(geo_mean(energies), 4),
                 }
             )
+    for kind in extra_specs:
+        baseline = res[("panel-base", kind)]
+        for flip_th in flip_thresholds:
+            for scheme in schemes:
+                result = res[("panel", flip_th, scheme, kind)]
+                rows.append(
+                    {
+                        "flip_th": flip_th,
+                        "scheme": scheme,
+                        "panel": kind,
+                        "rel_perf_pct": round(
+                            result.relative_performance(baseline), 3
+                        ),
+                        "energy_overhead_pct": round(
+                            max(
+                                energy_overhead_percent(result, baseline),
+                                1e-6,
+                            ),
+                            4,
+                        ),
+                    }
+                )
     return rows
 
 
@@ -106,9 +174,24 @@ def print_rows(rows: List[Dict]) -> None:
         f"{'E-ovh%':>8}"
     )
     for row in rows:
+        if "panel" in row:
+            continue
         print(
             f"{row['flip_th']:>7} {row['scheme']:>10} "
             f"{row['normal_rel_perf_pct']:>9} "
             f"{row['multi_sided_rel_perf_pct']:>9} "
             f"{row['normal_energy_overhead_pct']:>8}"
         )
+    panels = [row for row in rows if "panel" in row]
+    if panels:
+        print()
+        print(
+            f"{'panel':<26} {'FlipTH':>7} {'scheme':>10} {'perf%':>8} "
+            f"{'E-ovh%':>8}"
+        )
+        for row in panels:
+            print(
+                f"{row['panel']:<26} {row['flip_th']:>7} "
+                f"{row['scheme']:>10} {row['rel_perf_pct']:>8} "
+                f"{row['energy_overhead_pct']:>8}"
+            )

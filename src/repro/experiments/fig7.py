@@ -11,7 +11,7 @@ geomeans):
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.energy import energy_overhead_percent
 from repro.core.config import min_entries_for
@@ -22,16 +22,13 @@ DEFAULT_CONFIGS = ((3_125, 16), (6_250, 64))
 DEFAULT_ADTH_SWEEP = (0, 50, 100, 150, 200)
 
 
-def run(
+def build_plan(
     configs: Sequence = DEFAULT_CONFIGS,
     adth_values: Sequence[int] = DEFAULT_ADTH_SWEEP,
     scale: float = 1.0,
-    n_jobs: int = 1,
-    use_cache: bool = True,
-) -> List[Dict]:
+) -> Tuple[JobPlan, Dict]:
+    """(plan, context) for one sweep — jobs keyed for row assembly."""
     specs = normal_workload_specs(scale)
-    multiprogrammed = ("mix-high", "mix-blend")
-    multithreaded = ("fft", "radix", "pagerank")
 
     plan = JobPlan()
     for name, spec in specs.items():
@@ -60,11 +57,30 @@ def run(
                         scale=scale,
                     ),
                 )
+    return plan, {"points": points, "specs": specs}
 
+
+def plan_jobs(**kwargs) -> List[SimJob]:
+    """The sweep's job list (campaign planner export)."""
+    return build_plan(**kwargs)[0].jobs
+
+
+def run(
+    configs: Sequence = DEFAULT_CONFIGS,
+    adth_values: Sequence[int] = DEFAULT_ADTH_SWEEP,
+    scale: float = 1.0,
+    n_jobs: int = 1,
+    use_cache: bool = True,
+) -> List[Dict]:
+    multiprogrammed = ("mix-high", "mix-blend")
+    multithreaded = ("fft", "radix", "pagerank")
+
+    plan, context = build_plan(configs, adth_values, scale)
     res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
 
+    specs = context["specs"]
     rows = []
-    for flip_th, rfm_th, adth, entries, base_entries in points:
+    for flip_th, rfm_th, adth, entries, base_entries in context["points"]:
         overheads = {}
         skipped = {}
         for name in specs:

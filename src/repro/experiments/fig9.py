@@ -3,6 +3,16 @@
 For each (FlipTH, RFM_TH) pair of the paper's sweep, report the
 relative performance (geomean over the benign suite) of Mithril and
 Mithril+ and the table size.
+
+``extra_workloads`` names additional catalog kinds — typically the
+trace-foundry stress families — evaluated as extra per-workload panels
+alongside the benign geomean: each family gets its own unprotected
+baseline and a per-(FlipTH, RFM_TH) relative-performance row tagged
+``"panel": <kind>``.
+
+Like every simulation-bound driver, the job list is exported through
+:func:`build_plan` / :func:`plan_jobs` so campaign planners can expand
+and deduplicate the sweep without running it (docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
@@ -10,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import MithrilConfig, min_entries_for
-from repro.engine import JobPlan, SimJob, normal_workload_specs
+from repro.engine import JobPlan, SimJob, WorkloadSpec, normal_workload_specs
 from repro.experiments.runner import geo_mean
 from repro.params import DEFAULT_ADAPTIVE_THRESHOLD
 
@@ -29,18 +39,24 @@ DEFAULT_SWEEP = (
 )
 
 
-def run(
+def build_plan(
     sweep: Sequence[Tuple[int, int]] = DEFAULT_SWEEP,
     adaptive_th: int = DEFAULT_ADAPTIVE_THRESHOLD,
     scale: float = 1.0,
-    n_jobs: int = 1,
-    use_cache: bool = True,
-) -> List[Dict]:
+    extra_workloads: Sequence[str] = (),
+) -> Tuple[JobPlan, Dict]:
+    """(plan, context) for one sweep — jobs keyed for row assembly."""
     specs = normal_workload_specs(scale)
+    extra_specs = {
+        kind: WorkloadSpec.make(kind, scale=scale)
+        for kind in extra_workloads
+    }
 
     plan = JobPlan()
     for name, spec in specs.items():
         plan.add(("base", name), SimJob(workload=spec))
+    for kind, spec in extra_specs.items():
+        plan.add(("panel-base", kind), SimJob(workload=spec))
     points = []
     for flip_th, rfm_th in sweep:
         n = min_entries_for(flip_th, rfm_th, adaptive_th)
@@ -49,27 +65,64 @@ def run(
             continue
         for plus in (False, True):
             scheme = "mithril+" if plus else "mithril"
+            scheme_params = {
+                "n_entries": n,
+                "rfm_th": rfm_th,
+                "adaptive_th": adaptive_th,
+            }
             for name, spec in specs.items():
                 plan.add(
                     (flip_th, rfm_th, scheme, name),
                     SimJob.make(
                         workload=spec,
                         scheme=scheme,
-                        scheme_params={
-                            "n_entries": n,
-                            "rfm_th": rfm_th,
-                            "adaptive_th": adaptive_th,
-                        },
+                        scheme_params=scheme_params,
                         flip_th=flip_th,
                         rfm_th=rfm_th,
                         scale=scale,
                     ),
                 )
+            for kind, spec in extra_specs.items():
+                plan.add(
+                    (flip_th, rfm_th, scheme, "panel", kind),
+                    SimJob.make(
+                        workload=spec,
+                        scheme=scheme,
+                        scheme_params=scheme_params,
+                        flip_th=flip_th,
+                        rfm_th=rfm_th,
+                        scale=scale,
+                    ),
+                )
+    context = {
+        "points": points,
+        "specs": specs,
+        "extra_specs": extra_specs,
+        "adaptive_th": adaptive_th,
+    }
+    return plan, context
 
+
+def plan_jobs(**kwargs) -> List[SimJob]:
+    """The sweep's job list (campaign planner export)."""
+    return build_plan(**kwargs)[0].jobs
+
+
+def run(
+    sweep: Sequence[Tuple[int, int]] = DEFAULT_SWEEP,
+    adaptive_th: int = DEFAULT_ADAPTIVE_THRESHOLD,
+    scale: float = 1.0,
+    n_jobs: int = 1,
+    use_cache: bool = True,
+    extra_workloads: Sequence[str] = (),
+) -> List[Dict]:
+    plan, context = build_plan(sweep, adaptive_th, scale, extra_workloads)
     res = plan.run(n_jobs=n_jobs, use_cache=use_cache)
 
+    specs = context["specs"]
+    extra_specs = context["extra_specs"]
     rows = []
-    for flip_th, rfm_th, n in points:
+    for flip_th, rfm_th, n in context["points"]:
         if n is None:
             rows.append(
                 {
@@ -103,6 +156,27 @@ def run(
                 "mithril_plus_rel_perf_pct": perf["mithril+"],
             }
         )
+    for kind in extra_specs:
+        for flip_th, rfm_th, n in context["points"]:
+            if n is None:
+                continue
+            rows.append(
+                {
+                    "flip_th": flip_th,
+                    "rfm_th": rfm_th,
+                    "panel": kind,
+                    "mithril_rel_perf_pct": round(
+                        res[(flip_th, rfm_th, "mithril", "panel", kind)]
+                        .relative_performance(res[("panel-base", kind)]),
+                        3,
+                    ),
+                    "mithril_plus_rel_perf_pct": round(
+                        res[(flip_th, rfm_th, "mithril+", "panel", kind)]
+                        .relative_performance(res[("panel-base", kind)]),
+                        3,
+                    ),
+                }
+            )
     return rows
 
 
@@ -112,6 +186,8 @@ def print_rows(rows: List[Dict]) -> None:
         f"{'Mithril%':>9} {'Mithril+%':>10}"
     )
     for row in rows:
+        if "panel" in row:
+            continue
         if not row.get("feasible"):
             print(f"{row['flip_th']:>7} {row['rfm_th']:>7} {'infeasible':>8}")
             continue
@@ -120,3 +196,16 @@ def print_rows(rows: List[Dict]) -> None:
             f"{row['mithril_rel_perf_pct']:>9} "
             f"{row['mithril_plus_rel_perf_pct']:>10}"
         )
+    panels = [row for row in rows if "panel" in row]
+    if panels:
+        print()
+        print(
+            f"{'panel':<26} {'FlipTH':>7} {'RFM_TH':>7} "
+            f"{'Mithril%':>9} {'Mithril+%':>10}"
+        )
+        for row in panels:
+            print(
+                f"{row['panel']:<26} {row['flip_th']:>7} "
+                f"{row['rfm_th']:>7} {row['mithril_rel_perf_pct']:>9} "
+                f"{row['mithril_plus_rel_perf_pct']:>10}"
+            )

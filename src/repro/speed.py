@@ -173,13 +173,64 @@ def make_entry(preset: str, label: str, rows: List[SpeedRow]) -> Dict:
     }
 
 
-def append_entry(entry: Dict, output: Path) -> Dict:
+class UncontrolledSpeedClaim(ValueError):
+    """A ``*-controlled`` entry appended without its back-to-back pair."""
+
+
+def controlled_pair_violation(record: Dict, entry: Dict) -> Optional[str]:
+    """Why ``entry`` would break the ``*-controlled`` hygiene rule.
+
+    The trajectory's honesty convention (docs/ENGINE.md): a label
+    ending in ``-controlled`` claims a back-to-back measurement, so a
+    non-baseline controlled entry must land immediately after a
+    ``baseline-controlled`` entry of the same preset — this machine's
+    CPU phase swings >2x over minutes, and anything else is a
+    cross-phase comparison wearing a controlled label.  Returns a
+    human-readable violation, or None when the append is clean.
+    """
+    label = str(entry.get("label") or "")
+    if not label.endswith("-controlled") or label == "baseline-controlled":
+        return None
+    entries = record.get("entries") or []
+    previous = entries[-1] if entries else None
+    if previous is None:
+        return (
+            f"entry {label!r} claims a controlled measurement but the "
+            "trajectory is empty — append its 'baseline-controlled' "
+            "partner first, back-to-back"
+        )
+    if previous.get("label") != "baseline-controlled":
+        return (
+            f"entry {label!r} claims a controlled measurement but the "
+            f"immediately preceding entry is {previous.get('label')!r}, "
+            "not 'baseline-controlled' — controlled pairs must be "
+            "appended back-to-back"
+        )
+    if previous.get("preset") != entry.get("preset"):
+        return (
+            f"entry {label!r} (preset {entry.get('preset')!r}) does not "
+            "match the preceding 'baseline-controlled' entry's preset "
+            f"({previous.get('preset')!r}) — a controlled pair must "
+            "time the same preset"
+        )
+    return None
+
+
+def append_entry(
+    entry: Dict, output: Path, allow_uncontrolled: bool = False
+) -> Dict:
     """Append ``entry`` to the trajectory file (created when missing).
 
     The write goes through a temp file + ``os.replace`` so an
     interrupted run can never truncate the accumulated trajectory;
     a file that is unreadable anyway is preserved under ``.corrupt``
     (with a warning) rather than silently discarded.
+
+    ``*-controlled`` labels are policed: an entry claiming a
+    controlled measurement that is not the back-to-back partner of a
+    ``baseline-controlled`` entry raises
+    :class:`UncontrolledSpeedClaim` (``allow_uncontrolled=True``
+    downgrades the refusal to a warning).
     """
     import os
     import warnings
@@ -201,6 +252,18 @@ def append_entry(entry: Dict, output: Path) -> Dict:
                 RuntimeWarning,
                 stacklevel=2,
             )
+    violation = controlled_pair_violation(record, entry)
+    if violation is not None:
+        if not allow_uncontrolled:
+            raise UncontrolledSpeedClaim(
+                violation + " (pass --allow-uncontrolled to record it "
+                "anyway, clearly mislabelled)"
+            )
+        warnings.warn(
+            f"recording an uncontrolled speed claim: {violation}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     record["entries"].append(entry)
     tmp = output.with_suffix(f"{output.suffix}.tmp.{os.getpid()}")
     tmp.write_text(json.dumps(record, indent=2) + "\n")
@@ -229,22 +292,34 @@ def run_and_report(
     preset: str,
     label: str,
     output: Optional[Path] = None,
+    allow_uncontrolled: bool = False,
 ) -> Dict:
     """Run a preset, print the table, record and report the speedup.
 
     The single driver behind both the ``repro bench-speed`` CLI
     subcommand and ``benchmarks/bench_speed.py``.  ``output=None``
-    skips recording (measure-only runs).
+    skips recording (measure-only runs).  Controlled-pair hygiene is
+    enforced by :func:`append_entry`.
     """
     rows = run_preset(preset)
     entry = make_entry(preset, label, rows)
     print(format_entry(entry))
     if output is not None:
-        record = append_entry(entry, Path(output))
+        record = append_entry(
+            entry, Path(output), allow_uncontrolled=allow_uncontrolled
+        )
         print(f"\nappended entry to {output}")
-        speedup = speedup_vs_label(record, entry, "baseline")
+        baseline_label = (
+            "baseline-controlled"
+            if str(label).endswith("-controlled")
+            else "baseline"
+        )
+        speedup = speedup_vs_label(record, entry, baseline_label)
         if speedup is not None:
-            print(f"speedup vs latest 'baseline' entry: {speedup:.2f}x")
+            print(
+                f"speedup vs latest {baseline_label!r} entry: "
+                f"{speedup:.2f}x"
+            )
     return entry
 
 

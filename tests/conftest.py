@@ -9,10 +9,12 @@ from repro.params import DramOrganization, DramTimings, SystemConfig
 def _isolated_sim_cache(tmp_path, monkeypatch):
     """Keep the engine's result cache out of ~/.cache during tests.
 
-    Every test gets a fresh, throwaway cache directory, so driver runs
-    always exercise the simulate path and never leave state behind.
+    Every test gets a fresh, throwaway cache directory (and campaign
+    state directory), so driver runs always exercise the simulate path
+    and never leave state behind.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sim-cache"))
+    monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path / "campaigns"))
 
 
 @pytest.fixture

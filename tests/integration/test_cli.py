@@ -95,6 +95,83 @@ class TestCacheCommand:
         assert main(["cache", "--gc", code_version()]) == 1
         assert "refusing" in capsys.readouterr().out
 
+    def _seed_live_entry(self, tmp_path, monkeypatch):
+        from repro.engine import ResultCache, SimJob, WorkloadSpec
+        from repro.sim.metrics import SimulationResult
+        from repro.types import EnergyCounts
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        job = SimJob(
+            workload=WorkloadSpec.make("fft", seed=21, scale=0.1),
+            scheme="mithril",
+        )
+        ResultCache().put(job, SimulationResult(
+            scheme_name="MithrilScheme",
+            total_cycles=100,
+            per_core_instructions=[1],
+            per_core_finish_cycles=[100],
+            energy=EnergyCounts(acts=1),
+            acts=1, row_hits=0, row_misses=1,
+        ))
+        return job
+
+    def test_stats_reports_live_generation(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_live_entry(tmp_path, monkeypatch)
+        assert main(["cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "(live)" in out
+        assert "entries" in out
+
+    def test_stats_on_empty_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "nothing"))
+        assert main(["cache", "--stats"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_stats_covers_flat_dead_generations(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dead = tmp_path / "deadbeef00000000"
+        dead.mkdir(parents=True)
+        (dead / "entry.json").write_text('{"job": {"scheme": "none"}}')
+        assert main(["cache", "--stats"]) == 0
+        assert "deadbeef00000000" in capsys.readouterr().out
+
+    def test_query_by_scheme(self, tmp_path, monkeypatch, capsys):
+        self._seed_live_entry(tmp_path, monkeypatch)
+        assert main(["cache", "--query", "scheme=mithril"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry" in out
+        assert main(["cache", "--query", "scheme=graphene"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_query_bad_key_is_a_clean_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "--query", "nonsense=1"]) == 1
+        assert "unknown query key" in capsys.readouterr().out
+        assert main(["cache", "--query", "no-equals"]) == 1
+        capsys.readouterr()
+        assert main(["cache", "--query", "flip_th=abc"]) == 1
+        assert "must be an integer" in capsys.readouterr().out
+
+    def test_migrate_moves_flat_entries(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.engine import ResultCache
+
+        job = self._seed_live_entry(tmp_path, monkeypatch)
+        cache = ResultCache()
+        cache.path_for(job).rename(cache.flat_path_for(job))
+        assert main(["cache", "--migrate"]) == 0
+        assert "moved 1 flat entry" in capsys.readouterr().out
+        assert cache.path_for(job).exists()
+        assert main(["cache", "--migrate"]) == 0
+        assert "nothing to migrate" in capsys.readouterr().out
+
 
 class TestTracesCommands:
     def test_list(self, capsys):

@@ -1,0 +1,144 @@
+"""Unit tests for the BENCH_SIM_SPEED.json controlled-pair guard."""
+
+import json
+
+import pytest
+
+from repro.speed import (
+    UncontrolledSpeedClaim,
+    append_entry,
+    controlled_pair_violation,
+)
+
+
+def _entry(label, preset="medium"):
+    return {
+        "label": label,
+        "preset": preset,
+        "rows": [],
+        "total_events": 0,
+        "total_wall_s": 0.0,
+        "aggregate_events_per_sec": 0.0,
+    }
+
+
+def _record(*labels, preset="medium"):
+    return {"entries": [_entry(label, preset) for label in labels]}
+
+
+class TestViolationDetection:
+    def test_uncontrolled_labels_always_pass(self):
+        record = _record("whatever")
+        for label in ("dev", "baseline", "optimized", "ci-smoke"):
+            assert controlled_pair_violation(record, _entry(label)) is None
+
+    def test_baseline_controlled_always_passes(self):
+        assert controlled_pair_violation(
+            _record(), _entry("baseline-controlled")
+        ) is None
+        assert controlled_pair_violation(
+            _record("dev"), _entry("baseline-controlled")
+        ) is None
+
+    def test_back_to_back_pair_passes(self):
+        record = _record("dev", "baseline-controlled")
+        assert controlled_pair_violation(
+            record, _entry("optimized-controlled")
+        ) is None
+
+    def test_claim_on_empty_trajectory_flagged(self):
+        violation = controlled_pair_violation(
+            _record(), _entry("optimized-controlled")
+        )
+        assert violation is not None and "empty" in violation
+
+    def test_claim_after_uncontrolled_entry_flagged(self):
+        violation = controlled_pair_violation(
+            _record("baseline-controlled", "dev"),
+            _entry("optimized-controlled"),
+        )
+        assert violation is not None and "back-to-back" in violation
+
+    def test_preset_mismatch_flagged(self):
+        violation = controlled_pair_violation(
+            _record("baseline-controlled", preset="tiny"),
+            _entry("optimized-controlled", preset="medium"),
+        )
+        assert violation is not None and "preset" in violation
+
+
+class TestAppendGuard:
+    def test_refuses_uncontrolled_claim(self, tmp_path):
+        output = tmp_path / "speed.json"
+        append_entry(_entry("dev"), output)
+        with pytest.raises(UncontrolledSpeedClaim):
+            append_entry(_entry("optimized-controlled"), output)
+        # the refused entry was never written
+        entries = json.loads(output.read_text())["entries"]
+        assert [e["label"] for e in entries] == ["dev"]
+
+    def test_allow_uncontrolled_downgrades_to_warning(self, tmp_path):
+        output = tmp_path / "speed.json"
+        append_entry(_entry("dev"), output)
+        with pytest.warns(RuntimeWarning, match="uncontrolled"):
+            append_entry(
+                _entry("optimized-controlled"), output,
+                allow_uncontrolled=True,
+            )
+        entries = json.loads(output.read_text())["entries"]
+        assert entries[-1]["label"] == "optimized-controlled"
+
+    def test_proper_pair_appends_silently(self, tmp_path):
+        output = tmp_path / "speed.json"
+        append_entry(_entry("baseline-controlled"), output)
+        append_entry(_entry("optimized-controlled"), output)
+        entries = json.loads(output.read_text())["entries"]
+        assert [e["label"] for e in entries] == [
+            "baseline-controlled", "optimized-controlled"
+        ]
+
+    def test_committed_trajectory_satisfies_the_guard(self):
+        """The repo's own BENCH_SIM_SPEED.json replays cleanly."""
+        from pathlib import Path
+
+        trajectory = json.loads(
+            (Path(__file__).resolve().parents[2]
+             / "BENCH_SIM_SPEED.json").read_text()
+        )
+        replay = {"entries": []}
+        for entry in trajectory["entries"]:
+            assert controlled_pair_violation(replay, entry) is None, (
+                f"committed entry {entry['label']!r} violates the "
+                "controlled-pair rule"
+            )
+            replay["entries"].append(entry)
+
+
+class TestCliGuard:
+    def test_bench_speed_cli_refuses(self, tmp_path, monkeypatch, capsys):
+        import repro.speed as speed
+        from repro.cli import main
+
+        monkeypatch.setattr(speed, "run_preset", lambda preset: [])
+        output = tmp_path / "speed.json"
+        assert main([
+            "bench-speed", "--preset", "tiny",
+            "--label", "optimized-controlled", "--output", str(output),
+        ]) == 1
+        assert "refusing to record" in capsys.readouterr().out
+        assert not output.exists()
+
+    def test_bench_speed_cli_allow_flag(self, tmp_path, monkeypatch,
+                                        capsys):
+        import repro.speed as speed
+        from repro.cli import main
+
+        monkeypatch.setattr(speed, "run_preset", lambda preset: [])
+        output = tmp_path / "speed.json"
+        with pytest.warns(RuntimeWarning):
+            assert main([
+                "bench-speed", "--preset", "tiny",
+                "--label", "optimized-controlled",
+                "--output", str(output), "--allow-uncontrolled",
+            ]) == 0
+        assert output.exists()
