@@ -27,6 +27,7 @@ from repro.speed import (  # noqa: E402  (path bootstrap above)
     UncontrolledSpeedClaim,
     preset_names,
     run_and_report,
+    run_controlled_pairs,
 )
 
 
@@ -45,15 +46,37 @@ def main(argv=None) -> int:
         help="record a *-controlled entry even without its back-to-back "
              "baseline-controlled partner (warns instead of refusing)",
     )
+    parser.add_argument(
+        "--backend", choices=["scalar", "turbo"], default=None,
+        help="simulation backend to time (with --pairs: the candidate "
+             "backend, default turbo)",
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=0,
+        help="run N back-to-back scalar-vs-candidate pairs and record "
+             "the median pair (label must end in -controlled)",
+    )
     args = parser.parse_args(argv)
+    output = None if args.output == "-" else Path(args.output)
     try:
-        run_and_report(
-            args.preset,
-            args.label,
-            output=None if args.output == "-" else Path(args.output),
-            allow_uncontrolled=args.allow_uncontrolled,
-        )
-    except UncontrolledSpeedClaim as error:
+        if args.pairs:
+            run_controlled_pairs(
+                args.preset,
+                args.pairs,
+                args.label,
+                output=output,
+                candidate_backend=args.backend or "turbo",
+                allow_uncontrolled=args.allow_uncontrolled,
+            )
+        else:
+            run_and_report(
+                args.preset,
+                args.label,
+                output=output,
+                allow_uncontrolled=args.allow_uncontrolled,
+                backend=args.backend,
+            )
+    except ValueError as error:  # incl. UncontrolledSpeedClaim
         print(f"refusing to record: {error}")
         return 1
     return 0

@@ -21,8 +21,13 @@ campaign <cmd>      Declarative multi-experiment campaigns: list,
 bench-speed         Time simulate() on a preset; append to the
                     BENCH_SIM_SPEED.json speed trajectory
                     (``*-controlled`` labels are policed; see
-                    --allow-uncontrolled).
-profile             cProfile one workload x scheme simulation.
+                    --allow-uncontrolled).  ``--backend`` times the
+                    scalar or turbo backend; ``--pairs N`` runs N
+                    back-to-back scalar-vs-candidate pairs and
+                    records the median pair (docs/ENGINE.md).
+profile             cProfile one workload x scheme simulation
+                    (``--backend {scalar,turbo}`` to compare the
+                    per-phase split across backends).
 traces <cmd>        Trace foundry: ingest external traces, synthesize
                     stress families, characterize ACT streams
                     (docs/WORKLOADS.md).
@@ -256,16 +261,32 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_bench_speed(args) -> int:
-    from repro.speed import UncontrolledSpeedClaim, run_and_report
+    from repro.speed import (
+        UncontrolledSpeedClaim,
+        run_and_report,
+        run_controlled_pairs,
+    )
 
+    output = None if args.output == "-" else args.output
     try:
-        run_and_report(
-            args.preset,
-            args.label,
-            output=None if args.output == "-" else args.output,
-            allow_uncontrolled=args.allow_uncontrolled,
-        )
-    except UncontrolledSpeedClaim as error:
+        if args.pairs:
+            run_controlled_pairs(
+                args.preset,
+                args.pairs,
+                args.label,
+                output=output,
+                candidate_backend=args.backend or "turbo",
+                allow_uncontrolled=args.allow_uncontrolled,
+            )
+        else:
+            run_and_report(
+                args.preset,
+                args.label,
+                output=output,
+                allow_uncontrolled=args.allow_uncontrolled,
+                backend=args.backend,
+            )
+    except ValueError as error:  # incl. UncontrolledSpeedClaim
         print(f"refusing to record: {error}")
         return 1
     return 0
@@ -474,11 +495,15 @@ def _cmd_profile(args) -> int:
     job = SimJob(workload=spec, scheme=args.scheme, flip_th=args.flip_th,
                  scale=args.scale)
     traces, factory, config, rfm_th = materialize_job(job)
+    from repro.sim.backend import resolve_backend
+
+    print(f"backend: {resolve_backend(args.backend)}")
     profiler = cProfile.Profile()
     profiler.enable()
     simulate(traces, scheme_factory=factory, config=config, rfm_th=rfm_th,
              flip_th=job.flip_th, mlp=job.mlp,
-             track_hammer=job.track_hammer, max_cycles=job.max_cycles)
+             track_hammer=job.track_hammer, max_cycles=job.max_cycles,
+             backend=args.backend)
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
@@ -827,6 +852,17 @@ def main(argv=None) -> int:
                          help="record a *-controlled entry even without "
                               "its back-to-back baseline-controlled "
                               "partner (warns instead of refusing)")
+    p_bench.add_argument("--backend", choices=["scalar", "turbo"],
+                         default=None,
+                         help="simulation backend to time (default: "
+                              "REPRO_SIM_BACKEND or scalar); with "
+                              "--pairs this is the candidate backend")
+    p_bench.add_argument("--pairs", type=int, default=0,
+                         help="run N back-to-back scalar-vs-candidate "
+                              "pairs and record the median pair "
+                              "(label must end in -controlled); this "
+                              "machine's CPU phase swings >2x, so one "
+                              "pair is not a measurement")
     p_bench.set_defaults(func=_cmd_bench_speed)
 
     p_prof = sub.add_parser(
@@ -836,6 +872,12 @@ def main(argv=None) -> int:
     p_prof.add_argument("--scheme", default="mithril")
     p_prof.add_argument("--scale", type=float, default=1.0)
     p_prof.add_argument("--flip-th", type=int, default=6_250)
+    p_prof.add_argument("--backend", choices=["scalar", "turbo"],
+                        default=None,
+                        help="simulation backend to profile (default: "
+                             "REPRO_SIM_BACKEND or scalar), so the "
+                             "per-phase split can be compared across "
+                             "backends")
     p_prof.add_argument("--sort", default="cumulative",
                         help="pstats sort key (cumulative/tottime/...)")
     p_prof.add_argument("--top", type=int, default=25,

@@ -59,9 +59,13 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: v2: simulator hot-path overhaul (zero-alloc event loop, incremental
 #: schedulers, array-backed sketches) — results are byte-identical,
 #: but pre-overhaul entries must not satisfy post-overhaul jobs.
-CACHE_SCHEMA_SALT = "v2-hotpath"
+#: v3: vectorized turbo backend + numpy-optional workload generation.
+#: Results are byte-identical across backends (the golden suite pins
+#: both), but the salt retires caches written before the equivalence
+#: machinery existed.
+CACHE_SCHEMA_SALT = "v3-turbo"
 
-_code_version: Optional[str] = None
+_code_version: Dict[str, str] = {}
 
 
 def default_cache_dir() -> Path:
@@ -72,21 +76,37 @@ def default_cache_dir() -> Path:
 
 
 def code_version() -> str:
-    """Hash of the installed ``repro`` sources (the cache salt)."""
-    global _code_version
-    if _code_version is None:
+    """Hash of the installed ``repro`` sources (the cache salt).
+
+    The pure-RNG fallback marker is folded in: a numpy-less
+    environment writes to its own cache generation, so the one
+    workload path that is *not* vendored bit-exact (non-default
+    pagerank Zipf parameterizations, see
+    :func:`repro.workloads.nprng.zipf_weights`) can never poison a
+    numpy environment's cache, or vice versa.  The scalar/turbo
+    simulation *backend* is deliberately **not** folded in — backends
+    are byte-identical (golden-pinned) implementation details and
+    share cache entries.
+    """
+    from repro.workloads.nprng import using_pure_rng
+
+    marker = "purerng" if using_pure_rng() else ""
+    cached = _code_version.get(marker)
+    if cached is None:
         import repro
 
         package_root = Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
         digest.update(CACHE_SCHEMA_SALT.encode())
         digest.update(b"\0")
+        digest.update(marker.encode())
+        digest.update(b"\0")
         for path in sorted(package_root.rglob("*.py")):
             digest.update(path.relative_to(package_root).as_posix().encode())
             digest.update(b"\0")
             digest.update(path.read_bytes())
-        _code_version = digest.hexdigest()[:16]
-    return _code_version
+        cached = _code_version[marker] = digest.hexdigest()[:16]
+    return cached
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:

@@ -1,0 +1,20 @@
+"""Pure-python, bit-exact fallback for the numpy RNG subset.
+
+``repro`` runs without numpy (the no-numpy CI lane proves it): the
+workload generators draw from :func:`repro.workloads.nprng.default_rng`,
+which hands out numpy's ``Generator`` when numpy is installed and this
+package's :class:`~repro.purenp.rng.Generator` otherwise — and the two
+produce identical draws bit for bit, so traces (and therefore golden
+simulation results) do not depend on numpy's presence.
+
+Vendored constants live in ``_tables.py`` and are regenerated against
+installed numpy with ``python -m repro.purenp.regenerate``.
+"""
+
+from repro.purenp.rng import (  # noqa: F401
+    PCG64,
+    Generator,
+    SeedSequence,
+    default_rng,
+    pairwise_sum,
+)

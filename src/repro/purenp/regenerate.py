@@ -1,0 +1,214 @@
+"""Regenerate ``_tables.py`` (vendored constants) against installed numpy.
+
+The pure-python fallback RNG (:mod:`repro.purenp.rng`) must reproduce
+numpy's ``Generator`` draws *bit for bit* so that a numpy-less
+environment builds byte-identical workload traces (the no-numpy CI
+lane runs the golden-equivalence suite).  Two constant sets cannot be
+derived portably at runtime and are therefore vendored:
+
+* the 256-entry ziggurat tables (``ke``/``we``/``fe``) behind
+  ``Generator.standard_exponential`` — numpy compiled them in as C
+  literals, and a libm-based reconstruction differs in the last ulp
+  for most entries, so ``we`` is *recovered* here empirically: draws
+  that consume exactly one raw uint64 are first-try accepts, hence
+  ``x == fl(ri * we[idx])``, which pins each ``we[idx]`` to the unique
+  double satisfying every observed (ri, x) pair.  ``ke``/``fe`` are
+  rebuilt from the recovered layer edges with the published
+  Marsaglia-Tsang recurrences (their residual last-ulp uncertainty
+  only matters when a 53-bit draw lands exactly on a layer boundary,
+  probability ~2^-53 per draw, and is covered by the behavioural
+  equality tests in tests/unit/test_purenp.py);
+
+* the ulp-correction table for numpy's SIMD ``np.power`` (pagerank's
+  Zipf weights): numpy's vectorized pow differs from C libm ``pow``
+  by one ulp on ~6% of the ``rank ** 0.75`` inputs, in both
+  directions, so the exact offsets for the default pagerank
+  parameterization (footprint 65536, skew 0.75) are recorded.
+
+Run (requires numpy)::
+
+    PYTHONPATH=src python -m repro.purenp.regenerate
+
+and commit the rewritten ``_tables.py`` if it changed.  The
+equivalence tests fail loudly whenever installed-numpy behaviour
+drifts from the vendored constants.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+#: The pagerank parameterization whose pow corrections are vendored.
+POW_COUNT = 65536
+POW_EXPONENT = 0.75
+
+_SEEDS = (101, 202, 303)
+_DRAWS_PER_SEED = 80_000
+
+
+def _collect_pairs():
+    """(idx -> [(ri, x)]) for draws whose raw-stream use is known."""
+    import numpy as np
+
+    from repro.purenp.rng import PCG64
+
+    direct = {i: [] for i in range(256)}
+    follow = {i: [] for i in range(256)}
+    for seed in _SEEDS:
+        gen = np.random.default_rng(seed)
+        mirror = PCG64(seed)
+        state = gen.bit_generator.state["state"]["state"]
+        for _ in range(_DRAWS_PER_SEED):
+            x = float(gen.standard_exponential())
+            new_state = gen.bit_generator.state["state"]["state"]
+            mirror.state = state
+            raws = []
+            while mirror.state != new_state:
+                raws.append(mirror.next64())
+                if len(raws) > 6:
+                    raise RuntimeError("raw-stream desync during recovery")
+            state = new_state
+            idx = (raws[0] >> 3) & 0xFF
+            ri = raws[0] >> 11
+            if len(raws) == 1:
+                direct[idx].append((ri, x))
+            elif len(raws) == 2 and idx != 0:
+                # Possibly accepted after the wedge test; the value is
+                # still fl(ri * we[idx]) when it is close to the
+                # first-try product (retries return unrelated values).
+                follow[idx].append((ri, x))
+    return direct, follow
+
+
+def _solve_we(pairs):
+    """The unique double w with fl(ri * w) == x for all pairs."""
+    import struct
+
+    def ulp_neighbourhood(value, radius=64):
+        bits = struct.unpack("<q", struct.pack("<d", value))[0]
+        return [
+            struct.unpack("<d", struct.pack("<q", bits + off))[0]
+            for off in range(-radius, radius + 1)
+        ]
+
+    candidates = None
+    for ri, x in pairs:
+        if ri == 0:
+            continue
+        ok = {w for w in ulp_neighbourhood(x / ri) if ri * w == x}
+        candidates = ok if candidates is None else candidates & ok
+        if candidates is not None and len(candidates) == 1:
+            break
+    if not candidates:
+        raise RuntimeError("no we candidate survived")
+    good = [
+        w for w in sorted(candidates)
+        if all(r * w == x for r, x in pairs)
+    ]
+    if len(good) != 1:
+        raise RuntimeError(f"ambiguous we candidates: {good}")
+    return good[0]
+
+
+def recover_ziggurat():
+    """(ke, we, fe) matching numpy's compiled exponential tables."""
+    direct, follow = _collect_pairs()
+    we = []
+    for idx in range(256):
+        pairs = direct[idx]
+        if not pairs:
+            # ke[1] == 0: layer 1 never accepts first-try; use the
+            # two-raw draws filtered to first-try products.
+            rough = _solve_we(follow[idx][:8])
+            pairs = [
+                (ri, x) for ri, x in follow[idx]
+                if abs(x - ri * rough) <= 4 * abs(x) * 2.0 ** -52
+            ]
+        we.append(_solve_we(pairs))
+    m = 9007199254740992.0  # 2^53
+    x = [w * m for w in we]  # exact: power-of-two scaling
+    r = x[255]
+    ke = [0] * 256
+    ke[0] = int((r / x[0]) * m)
+    ke[1] = 0
+    for i in range(254, 0, -1):
+        ke[i + 1] = int((x[i] / x[i + 1]) * m)
+    fe = [math.exp(-edge) for edge in x]
+    fe[0] = 1.0
+    return ke, we, fe, r
+
+
+def pow_corrections():
+    """Ulp offsets of numpy's vectorized pow vs C libm, rank ** 0.75."""
+    import struct
+
+    import numpy as np
+
+    vector = np.power(
+        np.arange(1, POW_COUNT + 1, dtype=np.float64), POW_EXPONENT
+    )
+    offsets = {}
+    for rank in range(1, POW_COUNT + 1):
+        libm = float(rank) ** POW_EXPONENT
+        simd = float(vector[rank - 1])
+        if libm != simd:
+            a = struct.unpack("<q", struct.pack("<d", libm))[0]
+            b = struct.unpack("<q", struct.pack("<d", simd))[0]
+            offsets[rank] = b - a
+    return offsets
+
+
+def render_tables(ke, we, fe, r, offsets) -> str:
+    lines = [
+        '"""Vendored constants for the pure-python numpy-compatible RNG.',
+        "",
+        "Generated by ``python -m repro.purenp.regenerate`` (see its",
+        "docstring for the recovery method); do not edit by hand.",
+        '"""',
+        "",
+        "# fmt: off",
+        f"ZIGGURAT_EXP_R = float.fromhex({r.hex()!r})",
+        "",
+        "KE = (",
+    ]
+    for i in range(0, 256, 4):
+        lines.append("    " + " ".join(f"{v}," for v in ke[i:i + 4]))
+    lines.append(")")
+    for name, table in (("WE", we), ("FE", fe)):
+        lines.append("")
+        lines.append(f"{name} = tuple(float.fromhex(v) for v in (")
+        for i in range(0, 256, 3):
+            lines.append(
+                "    " + " ".join(f"{v.hex()!r}," for v in table[i:i + 3])
+            )
+        lines.append("))")
+    lines += [
+        "",
+        "#: numpy's SIMD pow vs libm pow, for the vendored pagerank Zipf",
+        "#: weights: rank -> signed ulp offset "
+        f"(count={POW_COUNT}, exponent={POW_EXPONENT}).",
+        f"POW_CORRECTION_KEY = ({POW_COUNT}, {POW_EXPONENT})",
+        "POW_CORRECTIONS = {",
+    ]
+    items = sorted(offsets.items())
+    for i in range(0, len(items), 6):
+        chunk = items[i:i + 6]
+        lines.append(
+            "    " + " ".join(f"{k}: {v}," for k, v in chunk)
+        )
+    lines += ["}", "# fmt: on", ""]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    ke, we, fe, r = recover_ziggurat()
+    offsets = pow_corrections()
+    target = Path(__file__).resolve().parent / "_tables.py"
+    target.write_text(render_tables(ke, we, fe, r, offsets))
+    print(f"wrote {target} ({len(offsets)} pow corrections)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

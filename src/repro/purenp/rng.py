@@ -1,0 +1,356 @@
+"""Bit-exact pure-python reimplementation of the numpy RNG subset.
+
+The workload generators draw from ``numpy.random.default_rng(seed)``;
+this module reproduces that generator — ``SeedSequence`` entropy
+mixing, the PCG64 (XSL-RR 128/64) bit generator including its 32-bit
+half-word buffering, and the exact ``Generator`` algorithms for the
+five methods the generators use:
+
+* ``random`` / ``uniform`` — 53-bit doubles from the raw stream;
+* ``integers`` — Lemire bounded rejection (32-bit path below 2^32,
+  matching numpy's buffered half-word consumption);
+* ``exponential`` / ``standard_exponential`` — the 256-layer ziggurat
+  with numpy's compiled-in tables (vendored in ``_tables.py``);
+* ``choice`` — index draws via ``integers``, or the cumsum /
+  searchsorted inverse-CDF path when ``p`` is given.
+
+Bit-exactness is asserted against installed numpy by
+tests/unit/test_purenp.py; a numpy-less environment (the no-numpy CI
+lane) therefore generates byte-identical traces.  Throughput is a few
+hundred thousand draws per second — fine for trace generation, not a
+general numpy substitute.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Union
+
+from repro.purenp._tables import FE, KE, WE, ZIGGURAT_EXP_R
+
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+_M128 = (1 << 128) - 1
+
+# ---------------------------------------------------------------------------
+# SeedSequence (O'Neill's seed_seq hashing, as implemented by numpy)
+# ---------------------------------------------------------------------------
+
+_XSHIFT = 16
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = 0xCA01F9DD
+_MIX_MULT_R = 0x4973F715
+_POOL_SIZE = 4
+
+
+def _uint32_words(value: int) -> List[int]:
+    if value < 0:
+        raise ValueError(f"entropy must be non-negative, got {value}")
+    if value == 0:
+        return [0]
+    words = []
+    while value:
+        words.append(value & _M32)
+        value >>= 32
+    return words
+
+
+class SeedSequence:
+    """numpy-compatible entropy pool; explicit entropy only."""
+
+    def __init__(self, entropy: Union[int, Sequence[int]],
+                 spawn_key: Sequence[int] = ()):
+        if entropy is None:
+            raise ValueError(
+                "the pure fallback needs explicit entropy (OS entropy "
+                "would not be reproducible anyway)"
+            )
+        self.entropy = entropy
+        self.spawn_key = tuple(spawn_key)
+        self.pool = [0] * _POOL_SIZE
+        self._mix(self._assembled_entropy())
+
+    def _assembled_entropy(self) -> List[int]:
+        if isinstance(self.entropy, int):
+            words = _uint32_words(self.entropy)
+        else:
+            words = []
+            for item in self.entropy:
+                words.extend(_uint32_words(int(item)))
+        for item in self.spawn_key:
+            words.extend(_uint32_words(int(item)))
+        return words
+
+    def _mix(self, entropy: List[int]) -> None:
+        pool = self.pool
+        hash_const = _INIT_A
+
+        def hashmix(value: int) -> int:
+            nonlocal hash_const
+            value = (value ^ hash_const) & _M32
+            hash_const = (hash_const * _MULT_A) & _M32
+            value = (value * hash_const) & _M32
+            return value ^ (value >> _XSHIFT)
+
+        def mix(x: int, y: int) -> int:
+            result = (x * _MIX_MULT_L - y * _MIX_MULT_R) & _M32
+            return result ^ (result >> _XSHIFT)
+
+        for i in range(_POOL_SIZE):
+            pool[i] = hashmix(entropy[i] if i < len(entropy) else 0)
+        for i_src in range(_POOL_SIZE):
+            for i_dst in range(_POOL_SIZE):
+                if i_src != i_dst:
+                    pool[i_dst] = mix(pool[i_dst], hashmix(pool[i_src]))
+        for i_src in range(_POOL_SIZE, len(entropy)):
+            for i_dst in range(_POOL_SIZE):
+                pool[i_dst] = mix(pool[i_dst], hashmix(entropy[i_src]))
+
+    def generate_state(self, n_words64: int) -> List[int]:
+        """``n_words64`` uint64 words (numpy's dtype=uint64 layout)."""
+        out32 = []
+        hash_const = _INIT_B
+        pool = self.pool
+        for i in range(n_words64 * 2):
+            value = (pool[i % _POOL_SIZE] ^ hash_const) & _M32
+            hash_const = (hash_const * _MULT_B) & _M32
+            value = (value * hash_const) & _M32
+            out32.append(value ^ (value >> _XSHIFT))
+        return [
+            out32[2 * i] | (out32[2 * i + 1] << 32)
+            for i in range(n_words64)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# PCG64 (setseq 128/64 XSL-RR)
+# ---------------------------------------------------------------------------
+
+_PCG_MULT = (2549297995355413924 << 64) | 4865540595714422341
+
+
+class PCG64:
+    """The default numpy bit generator, with half-word buffering."""
+
+    def __init__(self, seed: Union[int, SeedSequence]):
+        seq = seed if isinstance(seed, SeedSequence) else SeedSequence(seed)
+        words = seq.generate_state(4)
+        initstate = (words[0] << 64) | words[1]
+        initseq = (words[2] << 64) | words[3]
+        self.inc = ((initseq << 1) | 1) & _M128
+        state = (0 * _PCG_MULT + self.inc) & _M128
+        state = (state + initstate) & _M128
+        self.state = (state * _PCG_MULT + self.inc) & _M128
+        self._has_uint32 = False
+        self._uinteger = 0
+
+    def next64(self) -> int:
+        state = (self.state * _PCG_MULT + self.inc) & _M128
+        self.state = state
+        value = (state >> 64) ^ (state & _M64)
+        rot = state >> 122
+        return ((value >> rot) | (value << ((-rot) & 63))) & _M64
+
+    def next32(self) -> int:
+        if self._has_uint32:
+            self._has_uint32 = False
+            return self._uinteger
+        value = self.next64()
+        self._has_uint32 = True
+        self._uinteger = value >> 32
+        return value & _M32
+
+    def next_double(self) -> float:
+        return (self.next64() >> 11) * (1.0 / 9007199254740992.0)
+
+
+# ---------------------------------------------------------------------------
+# Generator
+# ---------------------------------------------------------------------------
+
+
+class Generator:
+    """The numpy ``Generator`` methods the workload generators use.
+
+    Sized draws return plain python lists; callers iterate / index, so
+    list-vs-ndarray is transparent (the generators were refactored to
+    exactly that idiom).
+    """
+
+    def __init__(self, bit_generator: PCG64):
+        self.bit_generator = bit_generator
+
+    # -- uniform doubles ----------------------------------------------------
+
+    def random(self, size: Optional[int] = None):
+        bg = self.bit_generator
+        if size is None:
+            return bg.next_double()
+        return [bg.next_double() for _ in range(size)]
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * self.bit_generator.next_double()
+
+    # -- bounded integers (Lemire rejection, numpy's paths) -----------------
+
+    def _lemire32(self, rng_incl: int) -> int:
+        bg = self.bit_generator
+        rng_excl = rng_incl + 1
+        m = bg.next32() * rng_excl
+        leftover = m & _M32
+        if leftover < rng_excl:
+            threshold = (0x1_0000_0000 - rng_excl) % rng_excl
+            while leftover < threshold:
+                m = bg.next32() * rng_excl
+                leftover = m & _M32
+        return m >> 32
+
+    def _lemire64(self, rng_incl: int) -> int:
+        bg = self.bit_generator
+        rng_excl = rng_incl + 1
+        m = bg.next64() * rng_excl
+        leftover = m & _M64
+        if leftover < rng_excl:
+            threshold = ((1 << 64) - rng_excl) % rng_excl
+            while leftover < threshold:
+                m = bg.next64() * rng_excl
+                leftover = m & _M64
+        return m >> 64
+
+    def integers(self, low: int, high: Optional[int] = None,
+                 size: Optional[int] = None):
+        if high is None:
+            low, high = 0, low
+        rng_incl = high - low - 1  # inclusive range width (endpoint=False)
+        if rng_incl < 0:
+            raise ValueError(f"low >= high ({low} >= {high})")
+        bg = self.bit_generator
+        if rng_incl == 0:
+            draw = lambda: 0  # noqa: E731 — no stream consumption
+        elif rng_incl == _M32:
+            draw = bg.next32
+        elif rng_incl == _M64:
+            draw = bg.next64
+        elif rng_incl < _M32:
+            draw = lambda: self._lemire32(rng_incl)  # noqa: E731
+        else:
+            draw = lambda: self._lemire64(rng_incl)  # noqa: E731
+        if size is None:
+            return low + draw()
+        return [low + draw() for _ in range(size)]
+
+    # -- exponential (256-layer ziggurat, vendored tables) ------------------
+
+    def _standard_exponential_one(self) -> float:
+        bg = self.bit_generator
+        while True:
+            ri = bg.next64() >> 3
+            idx = ri & 0xFF
+            ri >>= 8
+            x = ri * WE[idx]
+            if ri < KE[idx]:
+                return x  # ~98.9% of draws
+            if idx == 0:
+                return ZIGGURAT_EXP_R - math.log1p(-bg.next_double())
+            if ((FE[idx - 1] - FE[idx]) * bg.next_double() + FE[idx]
+                    < math.exp(-x)):
+                return x
+
+    def standard_exponential(self, size: Optional[int] = None):
+        if size is None:
+            return self._standard_exponential_one()
+        return [self._standard_exponential_one() for _ in range(size)]
+
+    def exponential(self, scale: float = 1.0,
+                    size: Optional[int] = None):
+        if size is None:
+            return self._standard_exponential_one() * scale
+        return [
+            self._standard_exponential_one() * scale for _ in range(size)
+        ]
+
+    # -- choice -------------------------------------------------------------
+
+    def choice(self, a, size: Optional[int] = None, p=None):
+        """numpy's replace=True paths: index draws or inverse CDF."""
+        pop_size = a if isinstance(a, int) else len(a)
+        if pop_size <= 0:
+            raise ValueError("a must be non-empty / positive")
+        if p is None:
+            index = self.integers(0, pop_size, size=size)
+            if isinstance(a, int):
+                return index
+            if size is None:
+                return a[index]
+            return [a[i] for i in index]
+        if len(p) != pop_size:
+            raise ValueError("a and p must have the same size")
+        # numpy: cdf = p.cumsum(); cdf /= cdf[-1];
+        #        idx = cdf.searchsorted(random(shape), side='right')
+        cdf = []
+        running = 0.0
+        for weight in p:
+            running += weight
+            cdf.append(running)
+        last = cdf[-1]
+        cdf = [value / last for value in cdf]
+        if size is None:
+            index = bisect_right(cdf, self.bit_generator.next_double())
+            return index if isinstance(a, int) else a[index]
+        draws = [self.bit_generator.next_double() for _ in range(size)]
+        indices = [bisect_right(cdf, u) for u in draws]
+        if isinstance(a, int):
+            return indices
+        return [a[i] for i in indices]
+
+
+def default_rng(seed: int) -> Generator:
+    """Drop-in for ``numpy.random.default_rng`` (explicit seed only)."""
+    return Generator(PCG64(seed))
+
+
+# ---------------------------------------------------------------------------
+# numpy-compatible reductions (the generators' non-draw numpy math)
+# ---------------------------------------------------------------------------
+
+
+def pairwise_sum(values: Sequence[float], lo: int = 0,
+                 n: Optional[int] = None) -> float:
+    """``np.sum`` for float64 1-D input: numpy's pairwise algorithm.
+
+    Plain sequential summation differs in the last ulp; numpy splits
+    blocks of eight across eight partial accumulators and recurses
+    above 128 elements, and the pagerank Zipf normalization needs the
+    identical rounding.
+    """
+    if n is None:
+        n = len(values)
+    if n < 8:
+        total = 0.0
+        for i in range(lo, lo + n):
+            total += values[i]
+        return total
+    if n <= 128:
+        acc = [values[lo + i] for i in range(8)]
+        i = 8
+        while i + 8 <= n:
+            for j in range(8):
+                acc[j] += values[lo + i + j]
+            i += 8
+        result = (
+            ((acc[0] + acc[1]) + (acc[2] + acc[3]))
+            + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+        )
+        while i < n:  # non-multiple-of-8 tail folds into the result
+            result += values[lo + i]
+            i += 1
+        return result
+    half = (n // 2) - ((n // 2) % 8)
+    return (
+        pairwise_sum(values, lo, half)
+        + pairwise_sum(values, lo + half, n - half)
+    )

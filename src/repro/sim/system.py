@@ -459,6 +459,42 @@ class SimulatedSystem:
         )
 
 
+def make_system(
+    traces: Sequence[CoreTrace],
+    scheme_factory: Optional[Callable[[], ProtectionScheme]] = None,
+    config: SystemConfig = DEFAULT_CONFIG,
+    rfm_th: int = 0,
+    flip_th: int = 10_000,
+    mlp: int = 4,
+    track_hammer: bool = True,
+    backend: Optional[str] = None,
+) -> "SimulatedSystem":
+    """Build one system on the resolved backend (see repro.sim.backend).
+
+    ``backend=None`` consults ``REPRO_SIM_BACKEND`` and defaults to
+    ``scalar``; ``turbo`` silently degrades to ``scalar`` (with a
+    one-line warning) when numpy is unavailable.  Results are
+    byte-identical across backends — the golden suite runs both.
+    """
+    from repro.sim.backend import TURBO, resolve_backend
+
+    if resolve_backend(backend) == TURBO:
+        from repro.sim.turbo import TurboSimulatedSystem
+
+        system_class = TurboSimulatedSystem
+    else:
+        system_class = SimulatedSystem
+    return system_class(
+        traces,
+        scheme_factory=scheme_factory,
+        config=config,
+        rfm_th=rfm_th,
+        flip_th=flip_th,
+        mlp=mlp,
+        track_hammer=track_hammer,
+    )
+
+
 def simulate(
     traces: Sequence[CoreTrace],
     scheme_factory: Optional[Callable[[], ProtectionScheme]] = None,
@@ -468,9 +504,10 @@ def simulate(
     mlp: int = 4,
     track_hammer: bool = True,
     max_cycles: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Build and run one system; the one-call entry point for benches."""
-    system = SimulatedSystem(
+    system = make_system(
         traces,
         scheme_factory=scheme_factory,
         config=config,
@@ -478,5 +515,6 @@ def simulate(
         flip_th=flip_th,
         mlp=mlp,
         track_hammer=track_hammer,
+        backend=backend,
     )
     return system.run(max_cycles=max_cycles)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Hashable
+from typing import Hashable, List
 
 
 class FrequencyEstimator(abc.ABC):
@@ -25,7 +25,21 @@ class FrequencyEstimator(abc.ABC):
     def estimate(self, element: Hashable) -> int:
         """Estimated occurrence count of ``element`` so far."""
 
-    def observe_many(self, elements) -> None:
-        """Record one occurrence of each element of an iterable."""
+    def observe_many(self, elements, count: int = 1) -> None:
+        """Record ``count`` occurrences of each element of an iterable.
+
+        Semantically ``for e in elements: observe(e, count)``; batch
+        engines (:mod:`repro.streaming.vectorized`) override this with
+        one vectorized scatter — results are identical by contract
+        (pinned by tests/property/test_vectorized_sketches.py).
+        """
         for element in elements:
-            self.observe(element)
+            self.observe(element, count)
+
+    def estimate_many(self, elements) -> List[int]:
+        """Estimates for each element, as a list.
+
+        Semantically ``[estimate(e) for e in elements]``; batch
+        engines override this with one vectorized gather.
+        """
+        return [self.estimate(element) for element in elements]

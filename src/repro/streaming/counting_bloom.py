@@ -72,6 +72,15 @@ class CountingBloomFilter(FrequencyEstimator):
                 cache[element] = indices
         return indices
 
+    def probe_indices_many(self, elements) -> List[List[int]]:
+        """Probe indices per element (the batch-probe profiling API).
+
+        The vectorized twin
+        (:class:`repro.streaming.vectorized.NumpyCountingBloomFilter`)
+        computes the same matrix with one vectorized hash pass.
+        """
+        return [self._indices(element) for element in elements]
+
     def observe(self, element: Hashable, count: int = 1) -> None:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
@@ -83,6 +92,26 @@ class CountingBloomFilter(FrequencyEstimator):
     def estimate(self, element: Hashable) -> int:
         counters = self._counters
         return min(counters[index] for index in self._indices(element))
+
+    def decrement(self, element: Hashable, count: int = 1) -> None:
+        """Remove ``count`` occurrences (counting-Bloom deletion).
+
+        Each probe counter is reduced and clamped at zero, so deleting
+        an element that aliased with heavier ones cannot drive a
+        counter negative — but deleting occurrences that were never
+        observed *does* forfeit the ``actual <= estimate`` bound for
+        other elements sharing those counters; callers own that
+        invariant (mirrored exactly by the vectorized engine).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        counters = self._counters
+        for index in self._indices(element):
+            value = counters[index] - count
+            counters[index] = value if value > 0 else 0
+        self._total -= count
+        if self._total < 0:
+            self._total = 0
 
     @property
     def total_observed(self) -> int:

@@ -34,9 +34,9 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.params import DramOrganization
+from repro.workloads.nprng import default_rng
+from repro.workloads.synthetic import _gaps
 from repro.workloads.trace import CoreTrace, TraceEntry
 
 #: The documented design targets (docs/WORKLOADS.md); the numbers the
@@ -61,12 +61,6 @@ DESIGN_TARGETS: Dict[str, Dict[str, float]] = {
 }
 
 
-def _gaps(rng: np.random.Generator, n: int, mean_gap: float) -> np.ndarray:
-    if mean_gap <= 0:
-        return np.zeros(n, dtype=np.int64)
-    return np.maximum(0, rng.exponential(mean_gap, size=n).astype(np.int64))
-
-
 def capacity_pressure(
     num_cores: int = 4,
     num_requests: int = 1200,
@@ -84,12 +78,12 @@ def capacity_pressure(
     so the next access to the same bank sits one row further — a
     guaranteed row-buffer miss under any page policy.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     traces = []
     for core in range(num_cores):
         start = core * footprint_rows + int(rng.integers(0, num_banks))
         gaps = _gaps(rng, num_requests, mean_gap)
-        writes = rng.random(num_requests) < write_fraction
+        writes = [v < write_fraction for v in rng.random(num_requests)]
         entries = []
         for i in range(num_requests):
             block = start + i
@@ -135,14 +129,14 @@ def row_conflict_heavy(
             f"conflict_rows must be >= 2 to force row misses, "
             f"got {conflict_rows}"
         )
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     traces = []
     for core in range(num_cores):
         pair = core // 2
         bank = pair % num_banks
         base = (pair * 4096 + (core % 2) * 2048) % rows_per_bank
         gaps = _gaps(rng, num_requests, mean_gap)
-        writes = rng.random(num_requests) < write_fraction
+        writes = [v < write_fraction for v in rng.random(num_requests)]
         entries = [
             TraceEntry(
                 gap_cycles=int(gaps[i]),
@@ -190,11 +184,11 @@ def multi_channel_imbalanced(
         )
     if accesses_per_row <= 0:
         raise ValueError("accesses_per_row must be positive")
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     traces = []
     for core in range(num_cores):
         gaps = _gaps(rng, num_requests, mean_gap)
-        writes = rng.random(num_requests) < write_fraction
+        writes = [v < write_fraction for v in rng.random(num_requests)]
         entries = []
         bank = row = 0
         for i in range(num_requests):

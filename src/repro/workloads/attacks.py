@@ -101,6 +101,24 @@ def rotation_attack_trace(
     )
 
 
+def _vectorized_probe_matrix(cbf: CountingBloomFilter, search_space: int):
+    """(search_space, k) probe-index matrix, or None without numpy.
+
+    The attacker's profiling sweep batch-probes the whole search space
+    in one vectorized hash pass
+    (:meth:`~repro.streaming.vectorized.NumpyCountingBloomFilter.probe_indices_many`);
+    a numpy-less environment keeps the scalar filter's lazy per-row
+    loops below — identical rows either way (same hash family and
+    seed), asserted by tests/unit/test_attacks.py.
+    """
+    try:
+        from repro.streaming.vectorized import NumpyCountingBloomFilter
+    except ImportError:
+        return None
+    twin = NumpyCountingBloomFilter(cbf.size, cbf.num_hashes, cbf._seed)
+    return twin.probe_indices_many(range(search_space))
+
+
 def find_aliasing_rows(
     cbf: CountingBloomFilter,
     target_row: int,
@@ -112,15 +130,27 @@ def find_aliasing_rows(
 
     This is the attacker's offline profiling step: BlockHammer's hash
     functions are not secret, so rows colliding with a benign thread's
-    hot rows can be precomputed.
+    hot rows can be precomputed (batch-probed over the search space).
     """
     target_indices = set(cbf._indices(target_row))
+    matrix = _vectorized_probe_matrix(cbf, search_space)
+    if matrix is None:
+        shared_of = lambda row: sum(  # noqa: E731
+            1 for idx in cbf._indices(row) if idx in target_indices
+        )
+    else:
+        import numpy as np
+
+        targets = np.fromiter(
+            target_indices, dtype=np.int64, count=len(target_indices)
+        )
+        counts = np.isin(matrix, targets).sum(axis=1)
+        shared_of = counts.__getitem__
     aliases = []
     for row in range(search_space):
         if row == target_row:
             continue
-        shared = sum(1 for idx in cbf._indices(row) if idx in target_indices)
-        if shared >= min_shared:
+        if shared_of(row) >= min_shared:
             aliases.append(row)
             if len(aliases) >= count:
                 break
@@ -140,7 +170,18 @@ def find_covering_rows(
     hammering the set raises every counter and thus the minimum.
     """
     needed = list(dict.fromkeys(cbf._indices(target_row)))
+    matrix = _vectorized_probe_matrix(cbf, search_space)
     covers: List[int] = []
+    if matrix is not None:
+        import numpy as np
+
+        for index in needed:
+            for row in np.flatnonzero((matrix == index).any(axis=1)):
+                row = int(row)
+                if row != target_row and row not in covers:
+                    covers.append(row)
+                    break
+        return covers
     for index in needed:
         for row in range(search_space):
             if row == target_row or row in covers:

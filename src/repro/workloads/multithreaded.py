@@ -13,17 +13,30 @@ shared data among cores the way the real kernels do:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
-import numpy as np
-
+from repro.workloads.nprng import default_rng, zipf_weights
 from repro.workloads.trace import CoreTrace, TraceEntry
 
 
+def _gaps(rng, n: int, mean_gap: float) -> List[int]:
+    """Exponential integer gaps.
+
+    Deliberately NOT ``synthetic._gaps``: that helper short-circuits
+    ``mean_gap <= 0`` without touching the RNG, while these generators
+    have always drawn ``n`` variates unconditionally — unifying would
+    shift the draw stream and change historical traces bit-for-bit.
+    """
+    return [
+        g if g > 0 else 0
+        for g in map(int, rng.exponential(mean_gap, size=n))
+    ]
+
+
 def _entries_from_logical(
-    logical_rows: np.ndarray,
-    gaps: np.ndarray,
-    writes: np.ndarray,
+    logical_rows: Sequence[int],
+    gaps: Sequence[int],
+    writes: Sequence[bool],
     num_banks: int,
     rows_per_bank: int = 65536,
 ) -> List[TraceEntry]:
@@ -49,15 +62,13 @@ def fft_like(
     seed: int = 21,
 ) -> List[CoreTrace]:
     """FFT: partitioned sweeps with stride-doubling exchange phases."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     partition = footprint_rows // num_cores
     traces = []
     for core in range(num_cores):
-        gaps = np.maximum(
-            0, rng.exponential(mean_gap, size=num_requests).astype(np.int64)
-        )
-        writes = rng.random(num_requests) < 0.5
-        logical = np.empty(num_requests, dtype=np.int64)
+        gaps = _gaps(rng, num_requests, mean_gap)
+        writes = [v < 0.5 for v in rng.random(num_requests)]
+        logical = [0] * num_requests
         base = core * partition
         stride = 1
         position = 0
@@ -90,18 +101,18 @@ def radix_like(
     seed: int = 22,
 ) -> List[CoreTrace]:
     """RADIX: local counting sweep then global scatter (permute)."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     partition = footprint_rows // num_cores
     traces = []
     for core in range(num_cores):
-        gaps = np.maximum(
-            0, rng.exponential(mean_gap, size=num_requests).astype(np.int64)
-        )
-        writes = rng.random(num_requests) < 0.5
+        gaps = _gaps(rng, num_requests, mean_gap)
+        writes = [v < 0.5 for v in rng.random(num_requests)]
         half = num_requests // 2
-        local = core * partition + (np.arange(half) // 8) % partition
+        local = [
+            core * partition + (i // 8) % partition for i in range(half)
+        ]
         scatter = rng.integers(0, footprint_rows, size=num_requests - half)
-        logical = np.concatenate([local, scatter])
+        logical = local + list(scatter)
         traces.append(
             CoreTrace(
                 name=f"radix-t{core}",
@@ -122,17 +133,14 @@ def pagerank_like(
     seed: int = 23,
 ) -> List[CoreTrace]:
     """PageRank: power-law vertex popularity over a huge footprint."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     traces = []
-    # Zipf-ish vertex popularity shared by all threads.
-    ranks = np.arange(1, footprint_rows + 1, dtype=np.float64)
-    weights = 1.0 / np.power(ranks, skew)
-    weights /= weights.sum()
+    # Zipf-ish vertex popularity shared by all threads (bit-identical
+    # with and without numpy; see nprng.zipf_weights).
+    weights = zipf_weights(footprint_rows, skew)
     for core in range(num_cores):
-        gaps = np.maximum(
-            0, rng.exponential(mean_gap, size=num_requests).astype(np.int64)
-        )
-        writes = rng.random(num_requests) < 0.15
+        gaps = _gaps(rng, num_requests, mean_gap)
+        writes = [v < 0.15 for v in rng.random(num_requests)]
         logical = rng.choice(footprint_rows, size=num_requests, p=weights)
         traces.append(
             CoreTrace(

@@ -1,0 +1,94 @@
+"""Seeded-RNG shim: numpy's ``Generator`` or the bit-exact pure fallback.
+
+Every workload generator draws through :func:`default_rng`.  With
+numpy installed it returns ``numpy.random.default_rng(seed)``
+unchanged — the draws (and therefore every golden trace) are exactly
+what they were when the generators imported numpy directly.  Without
+numpy (or with ``REPRO_FORCE_PURE_RNG=1``, which the equivalence tests
+use) it returns :class:`repro.purenp.rng.Generator`, which reproduces
+the same draws bit for bit.
+
+The generators were refactored to the subset of idioms that behaves
+identically for ndarrays and plain lists: sized draws are consumed by
+iteration / indexing plus explicit ``int()`` / ``bool()`` / ``<``
+coercion, never by ndarray-only operations.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import warnings
+from typing import List, Union
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy lane
+    _np = None
+
+FORCE_PURE_ENV = "REPRO_FORCE_PURE_RNG"
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def using_pure_rng() -> bool:
+    """True when draws come from the pure fallback."""
+    return _np is None or bool(os.environ.get(FORCE_PURE_ENV))
+
+
+def default_rng(seed: int):
+    """``numpy.random.default_rng`` or the pure bit-exact equivalent."""
+    if using_pure_rng():
+        from repro.purenp import default_rng as pure_default_rng
+
+        return pure_default_rng(seed)
+    return _np.random.default_rng(seed)
+
+
+def _nudge_ulp(value: float, offset: int) -> float:
+    bits = struct.unpack("<q", struct.pack("<d", value))[0]
+    return struct.unpack("<d", struct.pack("<q", bits + offset))[0]
+
+
+def zipf_weights(count: int, exponent: float) -> Union[List[float], object]:
+    """Normalized ``1 / rank**exponent`` weights, rank = 1..count.
+
+    The numpy path is the historical ``1.0 / np.power(ranks, exponent)``
+    then ``/= sum``.  The pure path reproduces it bit for bit: numpy's
+    SIMD ``pow`` differs from C libm by one ulp on ~6% of these inputs,
+    so the vendored correction table (``repro.purenp._tables``) patches
+    libm ``**`` for the default pagerank parameterization; the
+    normalization uses numpy's pairwise-summation order.
+    """
+    if not using_pure_rng():
+        ranks = _np.arange(1, count + 1, dtype=_np.float64)
+        weights = 1.0 / _np.power(ranks, exponent)
+        weights /= weights.sum()
+        return weights
+    from repro.purenp import pairwise_sum
+    from repro.purenp._tables import POW_CORRECTION_KEY, POW_CORRECTIONS
+
+    corrections = {}
+    if (count, exponent) == POW_CORRECTION_KEY:
+        corrections = POW_CORRECTIONS
+    else:
+        warnings.warn(
+            f"no vendored pow corrections for zipf_weights({count}, "
+            f"{exponent}); the pure-RNG fallback uses libm pow, which "
+            "can differ from numpy's by 1 ulp on ~6% of ranks (draws "
+            "may then diverge from a numpy environment)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    powers = []
+    for rank in range(1, count + 1):
+        value = float(rank) ** exponent
+        offset = corrections.get(rank)
+        if offset:
+            value = _nudge_ulp(value, offset)
+        powers.append(value)
+    weights = [1.0 / value for value in powers]
+    total = pairwise_sum(weights)
+    return [weight / total for weight in weights]

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
+from repro.workloads.nprng import default_rng
 from repro.workloads.synthetic import (
     random_access_trace,
     streaming_sweep_trace,
@@ -31,7 +30,7 @@ _GENERATORS = (streaming_sweep_trace, random_access_trace, strided_trace)
 
 def _one_core(
     index: int,
-    rng: np.random.Generator,
+    rng,
     num_requests: int,
     num_banks: int,
     intensive: bool,
@@ -67,7 +66,7 @@ def mix_high(
     seed: int = 11,
 ) -> List[CoreTrace]:
     """mix-high: every core is memory intensive."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     return [
         _one_core(i, rng, num_requests, num_banks, intensive=True)
         for i in range(num_cores)
@@ -81,9 +80,9 @@ def mix_blend(
     seed: int = 12,
 ) -> List[CoreTrace]:
     """mix-blend: a random half-and-half blend of intensities."""
-    rng = np.random.default_rng(seed)
-    intensities = rng.random(num_cores) < 0.5
-    if not intensities.any():
+    rng = default_rng(seed)
+    intensities = [v < 0.5 for v in rng.random(num_cores)]
+    if not any(intensities):
         intensities[0] = True
     return [
         _one_core(i, rng, num_requests, num_banks, intensive=bool(intensities[i]))

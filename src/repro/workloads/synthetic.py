@@ -15,18 +15,25 @@ All generators are deterministic in their ``seed``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List
 
-import numpy as np
-
+from repro.workloads.nprng import default_rng
 from repro.workloads.trace import CoreTrace, TraceEntry
 
 
-def _gaps(rng: np.random.Generator, n: int, mean_gap: float) -> np.ndarray:
-    """Integer inter-request gaps with an exponential distribution."""
+def _gaps(rng, n: int, mean_gap: float) -> List[int]:
+    """Integer inter-request gaps with an exponential distribution.
+
+    Identical under the numpy and pure generators: one sized
+    ``exponential`` draw, truncated toward zero per element (what
+    ``.astype(np.int64)`` did), clamped at zero.
+    """
     if mean_gap <= 0:
-        return np.zeros(n, dtype=np.int64)
-    return np.maximum(0, rng.exponential(mean_gap, size=n).astype(np.int64))
+        return [0] * n
+    return [
+        g if g > 0 else 0
+        for g in map(int, rng.exponential(mean_gap, size=n))
+    ]
 
 
 def streaming_sweep_trace(
@@ -44,9 +51,9 @@ def streaming_sweep_trace(
     """Sequential sweep: bursts of accesses per row, rows striped on banks."""
     if accesses_per_row <= 0:
         raise ValueError("accesses_per_row must be positive")
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     gaps = _gaps(rng, num_requests, mean_gap)
-    writes = rng.random(num_requests) < write_fraction
+    writes = [v < write_fraction for v in rng.random(num_requests)]
     entries = []
     for i in range(num_requests):
         block = i // accesses_per_row
@@ -77,11 +84,11 @@ def random_access_trace(
     seed: int = 2,
 ) -> CoreTrace:
     """Uniform random rows: near-zero locality, one ACT per access."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     gaps = _gaps(rng, num_requests, mean_gap)
     logical = rng.integers(0, footprint_rows, size=num_requests)
     columns = rng.integers(0, 128, size=num_requests)
-    writes = rng.random(num_requests) < write_fraction
+    writes = [v < write_fraction for v in rng.random(num_requests)]
     entries = [
         TraceEntry(
             gap_cycles=int(gaps[i]),
@@ -109,9 +116,9 @@ def strided_trace(
     seed: int = 3,
 ) -> CoreTrace:
     """Strided phases: FFT butterflies / radix-sort scatter behaviour."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     gaps = _gaps(rng, num_requests, mean_gap)
-    writes = rng.random(num_requests) < write_fraction
+    writes = [v < write_fraction for v in rng.random(num_requests)]
     entries = []
     position = 0
     for i in range(num_requests):

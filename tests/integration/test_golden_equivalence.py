@@ -1,11 +1,14 @@
-"""Optimized simulator == seed simulator, byte for byte.
+"""Optimized simulator == seed simulator, byte for byte — per backend.
 
 The golden file (tests/golden/simulation_results.json) was captured
 from the pre-optimization simulator.  Every hot-path change — the
 zero-alloc event loop, the memoized schedulers, the array-backed
-sketches — must leave each shipped scheme's `SimulationResult` exactly
-identical on every workload here: the comparison happens on canonical
-JSON, so even a float that differs in its last bit fails.
+sketches, the turbo backend's fused drain — must leave each shipped
+scheme's `SimulationResult` exactly identical on every workload here:
+the comparison happens on canonical JSON, so even a float that differs
+in its last bit fails.  Every record runs under **both** simulation
+backends (``turbo`` skips when numpy is absent — there it falls back
+to scalar anyway).
 
 If a change is *meant* to alter results, regenerate via
 ``PYTHONPATH=src python tests/golden/generate_golden.py`` and say so in
@@ -20,6 +23,7 @@ import pytest
 from repro.engine.cache import result_to_dict
 from repro.engine.executor import execute_job
 from repro.engine.job import SimJob, WorkloadSpec
+from repro.sim.backend import BACKEND_ENV, numpy_available
 
 GOLDEN_PATH = (
     Path(__file__).resolve().parent.parent / "golden" / "simulation_results.json"
@@ -68,8 +72,16 @@ def _ids():
     ]
 
 
+@pytest.fixture(params=["scalar", "turbo"])
+def backend(request, monkeypatch):
+    if request.param == "turbo" and not numpy_available():
+        pytest.skip("turbo backend needs numpy")
+    monkeypatch.setenv(BACKEND_ENV, request.param)
+    return request.param
+
+
 @pytest.mark.parametrize("record", RECORDS, ids=_ids())
-def test_result_matches_golden(record):
+def test_result_matches_golden(record, backend):
     job = _job_from_canonical(record["job"])
     result = execute_job(job)
     assert _canonical_json(result_to_dict(result)) == _canonical_json(

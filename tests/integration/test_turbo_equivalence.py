@@ -1,0 +1,200 @@
+"""Scalar and turbo backends agree beyond the golden matrix.
+
+The golden suite pins the default configuration (BLISS scheduler,
+minimalist-open pages).  This battery drives the *other* fused-path
+branches — FR-FCFS scheduling, open/closed page policies, ARR schemes
+through the generic tracker call, RFM issue, non-default hammer blast
+ranges (which drop the hammer fast path), and non-fusable component
+subclasses (which drop the whole fused drain) — asserting exact
+``SimulationResult`` equality between backends every time.
+"""
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("numpy", reason="turbo backend needs numpy")
+
+from repro.engine.executor import materialize_job
+from repro.engine.job import SimJob, WorkloadSpec
+from repro.mc.scheduler import BlissScheduler
+from repro.sim.system import SimulatedSystem, make_system
+from repro.sim.turbo import TurboSimulatedSystem
+
+
+def _run_both(job, expect_fused=True):
+    traces, factory, config, rfm_th = materialize_job(job)
+    results = {}
+    for backend in ("scalar", "turbo"):
+        system = make_system(
+            traces,
+            scheme_factory=factory,
+            config=config,
+            rfm_th=rfm_th,
+            flip_th=job.flip_th,
+            mlp=job.mlp,
+            track_hammer=job.track_hammer,
+            backend=backend,
+        )
+        if backend == "turbo":
+            assert isinstance(system, TurboSimulatedSystem)
+            assert system._fused is expect_fused
+        results[backend] = system.run(max_cycles=job.max_cycles)
+    assert results["scalar"] == results["turbo"]
+    return results["scalar"]
+
+
+def _job(scheme, workload="mix-high", seed=11, **kwargs):
+    spec = WorkloadSpec.make(workload, scale=0.2, seed=seed)
+    return SimJob(workload=spec, scheme=scheme, flip_th=2500,
+                  scale=0.2, **kwargs)
+
+
+class TestConfigMatrix:
+    @pytest.mark.parametrize("scheduler", ["bliss", "frfcfs"])
+    @pytest.mark.parametrize(
+        "page_policy", ["open", "closed", "minimalist-open"]
+    )
+    def test_scheduler_page_policy_grid(self, scheduler, page_policy):
+        _run_both(
+            _job(
+                "mithril",
+                config_overrides=(
+                    ("scheduler", scheduler),
+                    ("page_policy", page_policy),
+                ),
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "scheme", ["none", "mithril", "mithril+", "graphene",
+                   "blockhammer", "twice", "para", "cbt"]
+    )
+    def test_all_schemes_frfcfs(self, scheme):
+        """FR-FCFS exercises the non-BLISS fused branch per scheme."""
+        _run_both(
+            _job(scheme, config_overrides=(("scheduler", "frfcfs"),))
+        )
+
+    @pytest.mark.parametrize(
+        "scheme", ["twice", "para", "cbt"]
+    )
+    def test_arr_schemes_generic_tracker_path(self, scheme):
+        """Schemes without an inline specialization use the real call."""
+        spec = WorkloadSpec.make(
+            "attack", scale=0.2, pattern="multi-sided", seed=31
+        )
+        _run_both(
+            SimJob(workload=spec, scheme=scheme, flip_th=2500, scale=0.2)
+        )
+
+    def test_track_hammer_off(self):
+        _run_both(_job("mithril", track_hammer=False))
+
+    def test_max_cycles_cutoff(self):
+        _run_both(_job("mithril", max_cycles=20_000))
+
+
+class TestFusabilityFallback:
+    def test_subclassed_scheduler_disables_fusion(self):
+        class PatchedBliss(BlissScheduler):
+            pass
+
+        job = _job("mithril")
+        traces, factory, config, rfm_th = materialize_job(job)
+        scalar = SimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        turbo = TurboSimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        turbo._schedulers = [
+            PatchedBliss() for _ in turbo._schedulers
+        ]
+        scalar._schedulers = [
+            PatchedBliss() for _ in scalar._schedulers
+        ]
+        turbo._fused = turbo._snapshot_fusability()
+        assert turbo._fused is False  # falls back to scalar handlers
+        assert scalar.run() == turbo.run()
+
+    def test_nondefault_blast_weights_drop_hammer_fast_path(self):
+        job = _job("mithril")
+        traces, factory, config, rfm_th = materialize_job(job)
+
+        def build(cls):
+            system = cls(
+                traces, scheme_factory=factory, config=config,
+                rfm_th=rfm_th, flip_th=job.flip_th,
+            )
+            for controller in system.banks:
+                controller.hammer.blast_weights = (1.0, 0.25)
+            return system
+
+        turbo = build(TurboSimulatedSystem)
+        turbo._fused = turbo._snapshot_fusability()
+        assert turbo._fused is True
+        assert not any(turbo._fast_hammer)  # falls back to the call
+        assert build(SimulatedSystem).run() == turbo.run()
+
+    def test_instance_patched_scheme_uses_generic_call(self):
+        job = _job("mithril")
+        traces, factory, config, rfm_th = materialize_job(job)
+        turbo = TurboSimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        calls = []
+        target = turbo.banks[0].scheme
+        original = type(target).on_activate
+
+        def spy(row, cycle):
+            calls.append(row)
+            return original(target, row, cycle)
+
+        target.on_activate = spy
+        turbo._fused = turbo._snapshot_fusability()
+        assert turbo._fused is True
+        from repro.sim.turbo import _ACT_GENERIC, _ACT_MITHRIL
+
+        assert turbo._act_mode[0] == _ACT_GENERIC
+        assert all(
+            mode == _ACT_MITHRIL for mode in turbo._act_mode[1:]
+        )
+        scalar = SimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        assert scalar.run() == turbo.run()
+        assert calls  # the patched hook really ran
+
+    def test_rerun_refused(self):
+        job = _job("none")
+        traces, factory, config, rfm_th = materialize_job(job)
+        turbo = TurboSimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        turbo.run()
+        with pytest.raises(RuntimeError, match="only run once"):
+            turbo.run()
+
+
+class TestScaleInvariants:
+    def test_config_replace_timings_still_identical(self):
+        from repro.params import DEFAULT_CONFIG
+
+        config = dataclasses.replace(DEFAULT_CONFIG)
+        job = _job("blockhammer")
+        traces, factory, _config, rfm_th = materialize_job(job)
+        scalar = SimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        turbo = TurboSimulatedSystem(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        assert scalar.run() == turbo.run()

@@ -6,6 +6,7 @@ from repro.workloads.attacks import (
     blockhammer_adversarial_trace,
     double_sided_trace,
     find_aliasing_rows,
+    find_covering_rows,
     multi_sided_trace,
     rotation_attack_trace,
 )
@@ -71,3 +72,63 @@ class TestBlockHammerAdversarial:
             total_requests=12,
         )
         assert all(not e.is_write for e in trace.entries)
+
+
+class TestVectorizedProfiler:
+    """The batch-probed profiling sweep equals the scalar lazy loops."""
+
+    def _scalar_aliasing(self, cbf, target_row, count, search_space,
+                         min_shared=1):
+        target_indices = set(cbf._indices(target_row))
+        aliases = []
+        for row in range(search_space):
+            if row == target_row:
+                continue
+            shared = sum(
+                1 for idx in cbf._indices(row) if idx in target_indices
+            )
+            if shared >= min_shared:
+                aliases.append(row)
+                if len(aliases) >= count:
+                    break
+        return aliases
+
+    def _scalar_covering(self, cbf, target_row, search_space):
+        needed = list(dict.fromkeys(cbf._indices(target_row)))
+        covers = []
+        for index in needed:
+            for row in range(search_space):
+                if row == target_row or row in covers:
+                    continue
+                if index in cbf._indices(row):
+                    covers.append(row)
+                    break
+        return covers
+
+    def test_find_aliasing_matches_scalar_sweep(self):
+        pytest.importorskip("numpy")
+        cbf = CountingBloomFilter(size=64, num_hashes=4, seed=0xB10F)
+        for target in (5, 999, 4021):
+            assert find_aliasing_rows(
+                cbf, target, count=6, search_space=4096
+            ) == self._scalar_aliasing(cbf, target, 6, 4096)
+
+    def test_find_covering_matches_scalar_sweep(self):
+        pytest.importorskip("numpy")
+        cbf = CountingBloomFilter(size=256, num_hashes=4, seed=0xB10F)
+        for target in (7, 123, 5000):
+            assert find_covering_rows(
+                cbf, target, search_space=8192
+            ) == self._scalar_covering(cbf, target, 8192)
+
+    def test_probe_indices_many_matches_scalar(self):
+        np = pytest.importorskip("numpy")
+        from repro.streaming.vectorized import NumpyCountingBloomFilter
+
+        cbf = CountingBloomFilter(size=128, num_hashes=5, seed=0x1234)
+        twin = NumpyCountingBloomFilter(128, 5, 0x1234)
+        rows = list(range(500))
+        assert (
+            twin.probe_indices_many(rows).tolist()
+            == cbf.probe_indices_many(rows)
+        )

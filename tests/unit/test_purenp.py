@@ -1,0 +1,245 @@
+"""The pure-python RNG fallback is bit-exact against numpy.
+
+Two layers of proof:
+
+* draw-level: every ``Generator`` method the workload generators use
+  produces the same bits as installed numpy (skipped when numpy is
+  absent — then the vendored known-value pins below carry the check);
+* workload-level: representative generators build identical traces
+  under ``REPRO_FORCE_PURE_RNG=1`` — the guarantee the no-numpy CI
+  lane's golden-equivalence run rests on.
+
+The known-value pins were captured from numpy once and keep validating
+the pure implementation in environments where numpy is missing.
+"""
+
+import pytest
+
+from repro.purenp import PCG64, SeedSequence, default_rng, pairwise_sum
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:
+    np = None
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+SEEDS = [0, 1, 11, 12, 21, 22, 23, 31, 61, 62, 63, 99, 123456, 2**40 + 7]
+
+
+# ---------------------------------------------------------------------------
+# known-value pins (numpy-derived, valid without numpy)
+# ---------------------------------------------------------------------------
+
+
+class TestKnownValues:
+    def test_seed_sequence_pool_words(self):
+        assert SeedSequence(11).generate_state(4) == [
+            3926704849073358691,
+            2926583794887213564,
+            215141457385765089,
+            15564452721439488421,
+        ]
+
+    def test_pcg64_raw_stream(self):
+        bg = PCG64(21)
+        assert [bg.next64() for _ in range(4)] == [
+            14409076252388976754,
+            11175905102312791203,
+            13093520902678603757,
+            1643565659307885790,
+        ]
+
+    def test_first_doubles(self):
+        rng = default_rng(11)
+        draws = [rng.random() for _ in range(3)]
+        assert draws == [
+            0.12857020276919962,
+            0.49927786244011496,
+            0.6014983576233575,
+        ]
+
+    def test_first_exponential_draws(self):
+        rng = default_rng(23)
+        draws = rng.exponential(24.0, size=3)
+        assert draws == [
+            3.5419151169648635,
+            6.396839519556968,
+            2.634583315877207,
+        ]
+
+    def test_lemire_integers(self):
+        rng = default_rng(31)
+        assert rng.integers(0, 4, size=8) == [2, 3, 1, 0, 2, 2, 0, 1]
+
+    def test_determinism(self):
+        a = default_rng(7)
+        b = default_rng(7)
+        assert a.exponential(3.0, size=64) == b.exponential(3.0, size=64)
+        assert a.integers(0, 1000, size=64) == b.integers(0, 1000, size=64)
+
+
+# ---------------------------------------------------------------------------
+# draw-level equivalence vs installed numpy
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+class TestNumpyEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seed_sequence(self, seed):
+        assert (
+            np.random.SeedSequence(seed).generate_state(4, np.uint64).tolist()
+            == SeedSequence(seed).generate_state(4)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_raw_stream(self, seed):
+        mine = PCG64(seed)
+        assert np.random.PCG64(seed).random_raw(32).tolist() == [
+            mine.next64() for _ in range(32)
+        ]
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_interleaved_method_battery(self, seed):
+        """The methods in one stream, as the generators interleave them."""
+        a = np.random.default_rng(seed)
+        b = default_rng(seed)
+        assert a.random(100).tolist() == b.random(100)
+        assert a.integers(0, 4, size=64).tolist() == b.integers(0, 4, size=64)
+        assert [int(a.integers(0, 2**31)) for _ in range(16)] == [
+            b.integers(0, 2**31) for _ in range(16)
+        ]
+        assert [float(a.uniform(16, 40)) for _ in range(16)] == [
+            b.uniform(16, 40) for _ in range(16)
+        ]
+        # 64-bit Lemire path
+        assert a.integers(0, 2**40, size=16).tolist() == b.integers(
+            0, 2**40, size=16
+        )
+        assert [int(a.choice([2, 4, 8, 16])) for _ in range(16)] == [
+            b.choice([2, 4, 8, 16]) for _ in range(16)
+        ]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_exponential_bulk(self, seed):
+        """50k draws cover the ziggurat tail and wedge paths (~1.1%)."""
+        assert (
+            np.random.default_rng(seed).exponential(24.0, size=50_000).tolist()
+            == default_rng(seed).exponential(24.0, size=50_000)
+        )
+
+    def test_weighted_choice(self):
+        weights = 1.0 / np.power(
+            np.arange(1, 65537, dtype=np.float64), 0.75
+        )
+        weights /= weights.sum()
+        assert (
+            np.random.default_rng(23)
+            .choice(65536, size=4000, p=weights)
+            .tolist()
+            == default_rng(23).choice(65536, size=4000, p=weights.tolist())
+        )
+
+    @pytest.mark.parametrize(
+        "size", [1, 5, 8, 9, 17, 100, 127, 128, 129, 1000, 4097, 65536]
+    )
+    def test_pairwise_sum(self, size):
+        values = (
+            1.0 / np.power(np.arange(1, size + 1, dtype=np.float64), 0.75)
+        )
+        assert pairwise_sum(values.tolist()) == float(values.sum())
+
+    def test_zipf_weights_default(self, monkeypatch):
+        from repro.workloads import nprng
+
+        monkeypatch.delenv(nprng.FORCE_PURE_ENV, raising=False)
+        ranks = np.arange(1, 65537, dtype=np.float64)
+        expected = 1.0 / np.power(ranks, 0.75)
+        expected /= expected.sum()
+        got = nprng.zipf_weights(65536, 0.75)
+        assert isinstance(got, np.ndarray)
+        assert got.tolist() == expected.tolist()
+
+    def test_zipf_weights_pure_matches_numpy(self, monkeypatch):
+        from repro.workloads import nprng
+
+        monkeypatch.delenv(nprng.FORCE_PURE_ENV, raising=False)
+        expected = nprng.zipf_weights(65536, 0.75).tolist()
+        monkeypatch.setenv(nprng.FORCE_PURE_ENV, "1")
+        assert nprng.zipf_weights(65536, 0.75) == expected
+
+    def test_zipf_weights_unvendored_warns(self, monkeypatch):
+        from repro.workloads import nprng
+
+        monkeypatch.setenv(nprng.FORCE_PURE_ENV, "1")
+        with pytest.warns(RuntimeWarning, match="no vendored pow"):
+            nprng.zipf_weights(512, 0.5)
+
+
+# ---------------------------------------------------------------------------
+# workload-level equivalence (forced-pure == numpy, trace for trace)
+# ---------------------------------------------------------------------------
+
+
+def _trace_tuples(traces):
+    return [
+        (
+            trace.name,
+            trace.memory_intensive,
+            [
+                (
+                    e.gap_cycles,
+                    e.bank_index,
+                    e.row,
+                    e.column,
+                    e.is_write,
+                    e.instructions,
+                )
+                for e in trace.entries
+            ],
+        )
+        for trace in traces
+    ]
+
+
+@needs_numpy
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            "mix_high",
+            "mix_blend",
+            "fft_like",
+            "radix_like",
+            "pagerank_like",
+            "capacity_pressure",
+            "row_conflict_heavy",
+            "multi_channel_imbalanced",
+        ],
+    )
+    def test_traces_identical(self, builder, monkeypatch):
+        from repro.traces import families
+        from repro.workloads import multithreaded, spec_like
+
+        monkeypatch.delenv("REPRO_FORCE_PURE_RNG", raising=False)
+        fn = (
+            getattr(spec_like, builder, None)
+            or getattr(multithreaded, builder, None)
+            or getattr(families, builder)
+        )
+        with_numpy = _trace_tuples(fn())
+        monkeypatch.setenv("REPRO_FORCE_PURE_RNG", "1")
+        assert _trace_tuples(fn()) == with_numpy
+
+    def test_code_version_carries_purerng_marker(self, monkeypatch):
+        from repro.engine import cache
+
+        monkeypatch.delenv("REPRO_FORCE_PURE_RNG", raising=False)
+        with_numpy = cache.code_version()
+        monkeypatch.setenv("REPRO_FORCE_PURE_RNG", "1")
+        assert cache.code_version() != with_numpy
+        assert len(cache.code_version()) == 16

@@ -119,7 +119,9 @@ class TestCliGuard:
         import repro.speed as speed
         from repro.cli import main
 
-        monkeypatch.setattr(speed, "run_preset", lambda preset: [])
+        monkeypatch.setattr(
+            speed, "run_preset", lambda preset, backend=None: []
+        )
         output = tmp_path / "speed.json"
         assert main([
             "bench-speed", "--preset", "tiny",
@@ -133,7 +135,9 @@ class TestCliGuard:
         import repro.speed as speed
         from repro.cli import main
 
-        monkeypatch.setattr(speed, "run_preset", lambda preset: [])
+        monkeypatch.setattr(
+            speed, "run_preset", lambda preset, backend=None: []
+        )
         output = tmp_path / "speed.json"
         with pytest.warns(RuntimeWarning):
             assert main([
@@ -142,3 +146,92 @@ class TestCliGuard:
                 "--output", str(output), "--allow-uncontrolled",
             ]) == 0
         assert output.exists()
+
+
+class TestControlledPairsFlow:
+    """The --pairs N median flow (this CPU's phase swings >2x)."""
+
+    def _stub_run_preset(self, monkeypatch, walls):
+        """run_preset returns one row; wall time scripted per call."""
+        import repro.speed as speed
+
+        calls = iter(walls)
+
+        def fake(preset, backend=None):
+            return [
+                speed.SpeedRow(
+                    scheme="none", workload="mix-high", events=1000,
+                    wall_s=next(calls),
+                )
+            ]
+
+        monkeypatch.setattr(speed, "run_preset", fake)
+
+    def test_median_pair_recorded(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.speed import run_controlled_pairs
+
+        # pairs: (baseline, candidate) walls -> speedups 2.0, 4.0, 1.5
+        self._stub_run_preset(
+            monkeypatch, [1.0, 0.5, 1.0, 0.25, 0.9, 0.6]
+        )
+        output = tmp_path / "speed.json"
+        report = run_controlled_pairs(
+            "tiny", 3, "turbo-controlled", output=output
+        )
+        assert report["median_speedup"] == pytest.approx(2.0)
+        assert report["samples"] == [1.5, 2.0, 4.0]
+        record = json.loads(output.read_text())
+        labels = [e["label"] for e in record["entries"]]
+        assert labels == ["baseline-controlled", "turbo-controlled"]
+        candidate = record["entries"][1]
+        assert candidate["pairs_run"] == 3
+        assert candidate["median_speedup"] == pytest.approx(2.0)
+        assert candidate["speedup_samples"] == [1.5, 2.0, 4.0]
+        from repro.sim.backend import numpy_available
+
+        # annotated with what actually ran: without numpy the turbo
+        # candidate honestly degrades to scalar
+        assert candidate["backend"] == (
+            "turbo" if numpy_available() else "scalar"
+        )
+        assert record["entries"][0]["backend"] == "scalar"
+        # the recorded pair is the *median* measurement, not the best
+        assert candidate["total_wall_s"] == pytest.approx(0.5)
+
+    def test_label_must_claim_controlled(self, tmp_path):
+        from repro.speed import run_controlled_pairs
+
+        with pytest.raises(ValueError, match="-controlled"):
+            run_controlled_pairs("tiny", 2, "turbo")
+
+    def test_pairs_must_be_positive(self):
+        from repro.speed import run_controlled_pairs
+
+        with pytest.raises(ValueError, match="pairs"):
+            run_controlled_pairs("tiny", 0, "turbo-controlled")
+
+    def test_cli_pairs_flow(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.cli import main
+
+        self._stub_run_preset(monkeypatch, [1.0, 0.5, 1.0, 0.4])
+        output = tmp_path / "speed.json"
+        assert main([
+            "bench-speed", "--preset", "tiny", "--pairs", "2",
+            "--label", "turbo-controlled", "--output", str(output),
+        ]) == 0
+        record = json.loads(output.read_text())
+        assert len(record["entries"]) == 2
+        assert "median pair" in capsys.readouterr().out
+
+    def test_cli_pairs_rejects_bad_label(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench-speed", "--preset", "tiny", "--pairs", "2",
+            "--label", "turbo", "--output", str(tmp_path / "s.json"),
+        ]) == 1
+        assert "refusing to record" in capsys.readouterr().out
