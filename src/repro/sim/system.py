@@ -142,11 +142,7 @@ class SimulatedSystem:
         # Per-trace normalized flat bank index, one entry per request:
         # `entry.bank_index % num_banks` is evaluated once per trace
         # entry here and never in the issue path.
-        num_banks = self.num_banks
-        self._core_flats = [
-            [entry.bank_index % num_banks for entry in trace.entries]
-            for trace in traces
-        ]
+        self._core_flats = self._build_core_flats(traces, self.num_banks)
         self._bank_scheduled = [False] * self.num_banks
         # Per-bank queue occupancy by core (the scheduler's "contended"
         # bit) plus the queue length it was built against; an external
@@ -164,6 +160,16 @@ class SimulatedSystem:
         self._ran = False
 
     # ------------------------------------------------------------------
+
+    def _build_core_flats(
+        self, traces: Sequence[CoreTrace], num_banks: int
+    ) -> List[List[int]]:
+        """Issue-table hook: the turbo backend substitutes its SoA
+        decode (possibly streamed in windows) for these full tables."""
+        return [
+            [entry.bank_index % num_banks for entry in trace.entries]
+            for trace in traces
+        ]
 
     def _push(self, cycle: int, kind: int, ident: int) -> None:
         self._seq += 1

@@ -40,11 +40,20 @@ unit test does; turbo correctness is owned by the golden-equivalence
 suite and the cross-backend property tests).
 
 Same-cycle bank events land on distinct banks (a bank schedules at
-most one serve per cycle), so per-sketch batches within an epoch are
-size-1 by construction; the vectorized sketch engines' batch APIs
-(:mod:`repro.streaming.vectorized`) therefore pay off in the attack
-profiler and analysis sweeps rather than inside the drain — measured
-honestly in docs/ENGINE.md.
+most one serve per cycle), so per-sketch batches within an epoch stay
+tiny (~1.02 events measured); what *does* pay cross-bank is shared
+state, not shared batches.  When every bank runs the same stock
+scheme, the tracker arenas (:mod:`repro.sim.arena`) adopt all banks'
+tracker state at construction — one ``(banks, 2, size)`` dual-CBF
+tensor with a merged pre-hashed probe cache for BlockHammer (per-ACT
+updates defer to the epoch boundary and flush as a batch), the exact
+per-bank CbS summaries plus stacked count matrices for
+Mithril/Graphene, one flat RAA vector for RFM — and the drain
+dispatches per-ACT work through them.  Mixed or non-stock
+configurations keep the per-bank inline handlers above.  Arena state
+is written back to the per-bank objects when ``run`` returns, so
+post-run inspection is backend-invariant — measured honestly in
+docs/ENGINE.md.
 """
 
 from __future__ import annotations
@@ -67,6 +76,12 @@ from repro.mc.scheduler import BlissScheduler, FrFcfsScheduler
 from repro.mitigations.blockhammer import BlockHammerScheme
 from repro.mitigations.graphene import GrapheneScheme
 from repro.protection import NoProtection
+from repro.sim.arena import (
+    BlockHammerArena,
+    CbsArena,
+    RaaArena,
+    TrackerArenas,
+)
 from repro.sim.metrics import SimulationResult
 from repro.sim.soa import decode_traces
 from repro.sim.system import (
@@ -96,6 +111,11 @@ _ACT_GENERIC, _ACT_NONE, _ACT_MITHRIL, _ACT_BLOCKHAMMER, _ACT_GRAPHENE = (
     0, 1, 2, 3, 4
 )
 
+#: Arena dispatch codes (see _install_arenas): every bank runs the
+#: same stock scheme and the per-ACT path goes through the cross-bank
+#: arena instead of the per-bank inline block.
+_ACT_MITHRIL_ARENA, _ACT_BLOCKHAMMER_ARENA, _ACT_GRAPHENE_ARENA = 5, 6, 7
+
 #: Throttle-release specializations.
 _THROTTLE_NEVER, _THROTTLE_BLOCKHAMMER, _THROTTLE_GENERIC = 0, 1, 2
 
@@ -116,17 +136,9 @@ class TurboSimulatedSystem(SimulatedSystem):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         traces = [core.trace for core in self.cores]
+        #: per-core SoA decode; long traces come back as streamed
+        #: windows, which the issue paths page through via ``ensure``.
         self._soa = decode_traces(traces, self.num_banks)
-        # Share the SoA flats with the base class's issue tables (the
-        # values are identical; the scalar lists are simply replaced).
-        self._core_flats = [soa.flats for soa in self._soa]
-        #: per-core (flats, rows, columns, writes, steps, length): one
-        #: sequence-unpack replaces six attribute loads per issue call.
-        self._soa_fields = [
-            (soa.flats, soa.rows, soa.columns, soa.writes, soa.steps,
-             soa.length)
-            for soa in self._soa
-        ]
         #: served requests are recycled into new issues (the fused
         #: drain owns every reference, so reuse is invisible).
         self._request_pool = []
@@ -142,11 +154,23 @@ class TurboSimulatedSystem(SimulatedSystem):
             self._request_pool,
         )
         self._fused = self._snapshot_fusability()
+        #: cross-bank tracker arenas; installed only when every bank
+        #: runs the same stock scheme (see _install_arenas).
+        self._arenas = self._install_arenas() if self._fused else None
 
     # ------------------------------------------------------------------
 
+    def _build_core_flats(self, traces, num_banks):
+        # The SoA decode supplies (possibly windowed) flats to the
+        # overridden issue paths; materializing the scalar per-trace
+        # tables here would duplicate the whole column.
+        return [None] * len(traces)
+
     def _snapshot_fusability(self) -> bool:
         """True when every component is stock (fused path is exact)."""
+        # Any re-snapshot invalidates previously installed arenas:
+        # their dispatch codes are rebuilt from scratch below.
+        self._arenas = None
         self._bliss_channel = []
         for scheduler in self._schedulers:
             if type(scheduler) not in (BlissScheduler, FrFcfsScheduler):
@@ -280,21 +304,77 @@ class TurboSimulatedSystem(SimulatedSystem):
         self._bank_ctx = [tuple(ctx) for ctx in contexts]
         return True
 
+    def _install_arenas(self) -> Optional[TrackerArenas]:
+        """Adopt per-bank tracker state into cross-bank arenas.
+
+        Engages only when *every* bank carries the same single
+        ``_ACT_*`` specialization — i.e. all banks run the same stock
+        scheme; mixed or non-stock configurations return None and the
+        fused drain keeps the exact per-bank inline handlers.  On
+        success ``_act_mode`` and the per-flat contexts are remapped
+        to the ``*_ARENA`` dispatch codes, and an RAA vector is added
+        when every bank also carries fused RFM logic.
+        """
+        act_modes = self._act_mode
+        first = act_modes[0]
+        if any(mode != first for mode in act_modes):
+            return None
+        schemes = [ctx[6] for ctx in self._bank_ctx]
+        try:
+            if first == _ACT_MITHRIL:
+                arenas = TrackerArenas(cbs=CbsArena.for_mithril(schemes))
+                remap = _ACT_MITHRIL_ARENA
+            elif first == _ACT_BLOCKHAMMER:
+                blockhammer = BlockHammerArena(schemes)
+                for soa in self._soa:
+                    blockhammer.prefill(soa.rows)
+                arenas = TrackerArenas(blockhammer=blockhammer)
+                remap = _ACT_BLOCKHAMMER_ARENA
+            elif first == _ACT_GRAPHENE:
+                arenas = TrackerArenas(cbs=CbsArena.for_graphene(schemes))
+                remap = _ACT_GRAPHENE_ARENA
+            else:  # NoProtection / generic: nothing to share
+                return None
+        except ValueError:  # non-uniform tracker geometry
+            return None
+        if self._fast_rfm and all(self._fast_rfm):
+            # fast_rfm implies rfm_logic is present and stock
+            arenas.raa = RaaArena(
+                [ctx[0].rfm_logic for ctx in self._bank_ctx]
+            )
+        self._act_mode = [remap] * len(act_modes)
+        self._bank_ctx = [
+            ctx[:9] + (remap,) + ctx[10:] for ctx in self._bank_ctx
+        ]
+        return arenas
+
     # ------------------------------------------------------------------
     # SoA issue path (overrides the scalar entry-object path)
     # ------------------------------------------------------------------
 
     def _try_issue(self, core, cycle: int) -> None:
         core_id = core.core_id
-        flats, rows, columns, writes, steps, total = (
-            self._soa_fields[core_id]
-        )
+        soa = self._soa[core_id]
+        total = soa.length
         (banks, queue_cores, queue_len, scheduled, row_address,
          bank_address, heap, pool) = self._issue_ctx
         heappush = heapq.heappush
         mlp = core.mlp
         index = core.index
         outstanding = core.outstanding_reads
+        # Window-relative field access: a full decode is one window
+        # covering the trace (base 0, bound total), so the fast path
+        # pays only the ``index - base`` subtraction; a streamed
+        # decode pages the next chunk in when ``index`` walks past
+        # ``bound`` (core.index never decreases, so windows only ever
+        # advance).
+        base = soa.chunk_start
+        bound = soa.chunk_end
+        flats = soa.flats
+        rows = soa.rows
+        columns = soa.columns
+        writes = soa.writes
+        steps = soa.steps
         while index < total:
             if cycle < core.next_issue_cycle:
                 seq = self._seq = self._seq + 1
@@ -310,19 +390,29 @@ class TurboSimulatedSystem(SimulatedSystem):
                     | (_ISSUE << _IDENT_BITS) | core_id,
                 )
                 break
-            is_write = writes[index]
+            if index >= bound:
+                soa.ensure(index)
+                base = soa.chunk_start
+                bound = soa.chunk_end
+                flats = soa.flats
+                rows = soa.rows
+                columns = soa.columns
+                writes = soa.writes
+                steps = soa.steps
+            local = index - base
+            is_write = writes[local]
             if not is_write and outstanding >= mlp:
                 core.stalled_on_mlp = True
                 break
-            flat = flats[index]
-            row = rows[index]
-            column = columns[index]
+            flat = flats[local]
+            row = rows[local]
+            column = columns[local]
             if is_write:
                 core.writes_issued += 1
             else:
                 core.reads_issued += 1
                 outstanding += 1
-            core.next_issue_cycle = cycle + steps[index]
+            core.next_issue_cycle = cycle + steps[local]
             index += 1
             interned = row_address[flat]
             address = interned.get(row)
@@ -409,6 +499,11 @@ class TurboSimulatedSystem(SimulatedSystem):
             finally:
                 if was_enabled:
                     gc.enable()
+                if self._arenas is not None:
+                    # Post-run inspection (blacklists, filter state,
+                    # RAA counts) must see what the scalar backend
+                    # leaves on the per-bank objects.
+                    self._arenas.write_back()
         else:
             self._drain_generic(max_cycles)
         return self._collect()
@@ -460,7 +555,7 @@ class TurboSimulatedSystem(SimulatedSystem):
         queue_cores = self._queue_cores
         core_served = self._core_served
         last_completion = self._core_last_completion
-        soa_fields = self._soa_fields
+        soas = self._soa
         banks = self.banks
         scheduled = bank_scheduled
         row_address = self._row_address
@@ -488,6 +583,30 @@ class TurboSimulatedSystem(SimulatedSystem):
         # inline issue loop below skips the increment its generic twin
         # (_try_issue) performs.  Anything consulting _queue_len after
         # a fused run sees stale zeros.
+        # Cross-bank arena dispatch (see _install_arenas): exactly one
+        # of the observe hooks is bound when arenas are active, and
+        # every bank shares it.
+        arenas = self._arenas
+        mithril_observe = graphene_observe = bh_flush = None
+        raa_mem = None
+        if arenas is not None:
+            if arenas.cbs is not None:
+                if arenas.cbs.kind == "mithril":
+                    mithril_observe = arenas.cbs.mithril_observe
+                else:
+                    graphene_observe = arenas.cbs.graphene_observe
+            if arenas.blockhammer is not None:
+                bh_flush = arenas.blockhammer.flush
+            if arenas.raa is not None:
+                raa_mem = arenas.raa.mem
+        #: BlockHammer per-ACT updates deferred within the current
+        #: epoch as (flat, row, start) triples — at most one per bank
+        #: (a bank serves at most once per cycle, and the conflict
+        #: guard below settles the batch before any second same-bank
+        #: event could read stale blacklist state).
+        bh_pending = []
+        bh_append = bh_pending.append
+        bh_pending_flats = set()
         row_hits = 0
         row_misses = 0
         seq = self._seq
@@ -520,8 +639,15 @@ class TurboSimulatedSystem(SimulatedSystem):
                             core.stalled_on_mlp = False
                     if issuing:
                         # ---- inline _try_issue (SoA issue loop) ------
-                        (flats, soa_rows, soa_columns, soa_writes,
-                         soa_steps, total) = soa_fields[core_id]
+                        soa = soas[core_id]
+                        total = soa.length
+                        base = soa.chunk_start
+                        bound = soa.chunk_end
+                        flats = soa.flats
+                        soa_rows = soa.rows
+                        soa_columns = soa.columns
+                        soa_writes = soa.writes
+                        soa_steps = soa.steps
                         mlp = core.mlp
                         index = core.index
                         outstanding = core.outstanding_reads
@@ -542,20 +668,32 @@ class TurboSimulatedSystem(SimulatedSystem):
                                     | (_ISSUE << _IDENT_BITS) | core_id,
                                 )
                                 break
-                            is_write = soa_writes[index]
+                            if index >= bound:
+                                # streamed decode: page the next
+                                # window in (windows only advance)
+                                soa.ensure(index)
+                                base = soa.chunk_start
+                                bound = soa.chunk_end
+                                flats = soa.flats
+                                soa_rows = soa.rows
+                                soa_columns = soa.columns
+                                soa_writes = soa.writes
+                                soa_steps = soa.steps
+                            local = index - base
+                            is_write = soa_writes[local]
                             if not is_write and outstanding >= mlp:
                                 core.stalled_on_mlp = True
                                 break
-                            flat = flats[index]
-                            row = soa_rows[index]
-                            column = soa_columns[index]
+                            flat = flats[local]
+                            row = soa_rows[local]
+                            column = soa_columns[local]
                             if is_write:
                                 core.writes_issued += 1
                             else:
                                 core.reads_issued += 1
                                 outstanding += 1
                             core.next_issue_cycle = (
-                                cycle + soa_steps[index]
+                                cycle + soa_steps[local]
                             )
                             index += 1
                             interned = row_address[flat]
@@ -609,6 +747,12 @@ class TurboSimulatedSystem(SimulatedSystem):
                     continue
                 # ---- fused bank event ---------------------------------
                 flat = key & _IDENT_MASK
+                if bh_pending and flat in bh_pending_flats:
+                    # A second event on a bank holding a deferred ACT
+                    # would read a stale blacklist: settle first.
+                    bh_flush(bh_pending)
+                    del bh_pending[:]
+                    bh_pending_flats.clear()
                 bank_scheduled[flat] = False
                 (controller, queue, bank, channel_state, energy,
                  refresh, scheme, hammer, t_mode, a_mode, f_hammer,
@@ -945,7 +1089,25 @@ class TurboSimulatedSystem(SimulatedSystem):
                         else:
                             hammer.on_activate(row, start)
                     # ---- per-ACT tracker update (specialized) ---------
-                    if a_mode == _ACT_MITHRIL:
+                    if a_mode >= _ACT_MITHRIL_ARENA:
+                        # cross-bank arena dispatch (uniform stock
+                        # scheme; see repro.sim.arena for exactness)
+                        if a_mode == _ACT_BLOCKHAMMER_ARENA:
+                            # defer to the epoch boundary; flushed as
+                            # a batch through the shared CBF tensor
+                            bh_append((flat, row, start))
+                            bh_pending_flats.add(flat)
+                        elif a_mode == _ACT_MITHRIL_ARENA:
+                            mithril_observe(flat, row)
+                        else:
+                            arr_victims = graphene_observe(
+                                flat, row, start
+                            )
+                            if arr_victims:
+                                controller._apply_arr(
+                                    arr_victims, start
+                                )
+                    elif a_mode == _ACT_MITHRIL:
                         # inline MithrilScheme.on_activate +
                         # MithrilTable.record_activation (+ spread),
                         # with the CbS on-table hit (_observe_one +
@@ -1137,12 +1299,28 @@ class TurboSimulatedSystem(SimulatedSystem):
                     if rfm_logic is not None:
                         if f_rfm:
                             # inline RfmIssueLogic.on_activate /
-                            # RaaCounter fast path (below threshold)
+                            # RaaCounter fast path (below threshold);
+                            # the live count sits in the arena RAA
+                            # vector when one is installed
                             raa = rfm_logic.raa
-                            if raa.rfm_th > 0:
-                                raa.value += 1
-                                if raa.value >= raa.rfm_th:
-                                    raa.value = 0
+                            raa_th = raa.rfm_th
+                            if raa_th > 0:
+                                if raa_mem is not None:
+                                    value = raa_mem[flat] + 1
+                                    if value >= raa_th:
+                                        raa_mem[flat] = 0
+                                        fire = True
+                                    else:
+                                        raa_mem[flat] = value
+                                        fire = False
+                                else:
+                                    raa.value += 1
+                                    if raa.value >= raa_th:
+                                        raa.value = 0
+                                        fire = True
+                                    else:
+                                        fire = False
+                                if fire:
                                     issue = True
                                     if rfm_logic.mrr_gated:
                                         rfm_logic.mrr_reads += 1
@@ -1208,6 +1386,13 @@ class TurboSimulatedSystem(SimulatedSystem):
                         (((retry << _SEQ_BITS) | seq) << _LOW_BITS)
                         | (_BANK << _IDENT_BITS) | flat,
                     )
+            # ---- epoch boundary: settle deferred tracker updates ------
+            if bh_pending:
+                bh_flush(bh_pending)
+                del bh_pending[:]
+                bh_pending_flats.clear()
+        if bh_pending:  # max_cycles cutoff mid-epoch
+            bh_flush(bh_pending)
         self._seq = seq
         self.row_hits += row_hits
         self.row_misses += row_misses

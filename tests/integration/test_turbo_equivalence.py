@@ -22,7 +22,37 @@ from repro.sim.system import SimulatedSystem, make_system
 from repro.sim.turbo import TurboSimulatedSystem
 
 
-def _run_both(job, expect_fused=True):
+#: scheme name -> expected arena shape on the turbo system (None =
+#: no arena; the fused drain keeps the per-bank inline handlers).
+_ARENA_SHAPE = {
+    "none": None,
+    "mithril": "mithril",
+    "mithril+": "mithril",
+    "graphene": "graphene",
+    "blockhammer": "blockhammer",
+    "twice": None,
+    "para": None,
+    "cbt": None,
+}
+
+
+def _assert_arena_shape(system, shape):
+    arenas = system._arenas
+    if shape is None:
+        assert arenas is None
+        return
+    assert arenas is not None
+    if shape == "blockhammer":
+        assert arenas.blockhammer is not None
+        assert arenas.cbs is None and arenas.raa is None
+    else:
+        assert arenas.cbs is not None and arenas.cbs.kind == shape
+        assert arenas.blockhammer is None
+        # Mithril banks carry fused RFM logic -> shared RAA vector.
+        assert (arenas.raa is not None) == (shape == "mithril")
+
+
+def _run_both(job, expect_fused=True, expect_arena="unchecked"):
     traces, factory, config, rfm_th = materialize_job(job)
     results = {}
     for backend in ("scalar", "turbo"):
@@ -39,6 +69,8 @@ def _run_both(job, expect_fused=True):
         if backend == "turbo":
             assert isinstance(system, TurboSimulatedSystem)
             assert system._fused is expect_fused
+            if expect_arena != "unchecked":
+                _assert_arena_shape(system, expect_arena)
         results[backend] = system.run(max_cycles=job.max_cycles)
     assert results["scalar"] == results["turbo"]
     return results["scalar"]
@@ -180,6 +212,141 @@ class TestFusabilityFallback:
         turbo.run()
         with pytest.raises(RuntimeError, match="only run once"):
             turbo.run()
+
+
+class TestArenas:
+    """Cross-bank arenas engage for uniform stock schemes and stay
+    byte-identical to the scalar backend; anything mixed or non-stock
+    drops to the exact per-bank inline handlers."""
+
+    @pytest.mark.parametrize(
+        "scheme", ["none", "mithril", "mithril+", "graphene",
+                   "blockhammer", "twice"]
+    )
+    def test_arena_engagement_and_equality(self, scheme):
+        _run_both(_job(scheme), expect_arena=_ARENA_SHAPE[scheme])
+
+    def test_mixed_schemes_fused_without_arena(self):
+        """Alternating stock schemes: each bank still gets its inline
+        specialization (fused), but no arena can span them — and the
+        scalar fallback stays exact."""
+        from repro.core.mithril import MithrilScheme
+        from repro.mitigations.graphene import GrapheneScheme
+
+        job = _job("mithril")
+        traces, _factory, config, rfm_th = materialize_job(job)
+
+        def alternating_factory():
+            state = {"count": 0}
+
+            def factory():
+                state["count"] += 1
+                if state["count"] % 2:
+                    return MithrilScheme()
+                return GrapheneScheme(flip_th=job.flip_th)
+
+            return factory
+
+        scalar = SimulatedSystem(
+            traces, scheme_factory=alternating_factory(), config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        turbo = TurboSimulatedSystem(
+            traces, scheme_factory=alternating_factory(), config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th,
+        )
+        assert turbo._fused is True
+        assert turbo._arenas is None
+        assert scalar.run() == turbo.run()
+
+    def test_raa_write_back_matches_scalar(self):
+        """The shared RAA vector must land back in each bank's
+        RfmIssueLogic after the run."""
+        job = _job("mithril+")
+        traces, factory, config, rfm_th = materialize_job(job)
+        systems = {}
+        for cls in (SimulatedSystem, TurboSimulatedSystem):
+            system = cls(
+                traces, scheme_factory=factory, config=config,
+                rfm_th=rfm_th, flip_th=job.flip_th,
+            )
+            system.run()
+            systems[cls] = system
+        scalar, turbo = systems[SimulatedSystem], systems[TurboSimulatedSystem]
+        assert turbo._arenas is not None and turbo._arenas.raa is not None
+        assert [
+            controller.rfm_logic.raa.value for controller in turbo.banks
+        ] == [
+            controller.rfm_logic.raa.value for controller in scalar.banks
+        ]
+
+    def test_blockhammer_write_back_matches_scalar(self):
+        """Post-run CBF counters, rotation phase, and blacklists on the
+        scheme objects equal the scalar backend's (the arena owns the
+        state during the run; write_back restores it)."""
+        spec = WorkloadSpec.make(
+            "attack", scale=0.2, pattern="multi-sided", seed=31
+        )
+        job = SimJob(workload=spec, scheme="blockhammer",
+                     flip_th=2500, scale=0.2)
+        traces, factory, config, rfm_th = materialize_job(job)
+        schemes = {}
+        for cls in (SimulatedSystem, TurboSimulatedSystem):
+            system = cls(
+                traces, scheme_factory=factory, config=config,
+                rfm_th=rfm_th, flip_th=job.flip_th,
+            )
+            system.run()
+            schemes[cls] = [controller.scheme for controller in system.banks]
+        for scalar, turbo in zip(
+            schemes[SimulatedSystem], schemes[TurboSimulatedSystem]
+        ):
+            assert scalar._release == turbo._release
+            assert scalar.blacklisted_rows_seen == turbo.blacklisted_rows_seen
+            assert scalar.cbf._active == turbo.cbf._active
+            assert scalar.cbf._since_swap == turbo.cbf._since_swap
+            for scalar_filter, turbo_filter in zip(
+                scalar.cbf._filters, turbo.cbf._filters
+            ):
+                assert list(scalar_filter._counters) == list(
+                    turbo_filter._counters
+                )
+
+
+class TestChunkedDecode:
+    """Streamed chunked SoA decode is byte-identical to the full
+    decode — against both the unchunked turbo run and the scalar
+    backend — with the arenas active."""
+
+    @pytest.mark.parametrize(
+        "scheme", ["none", "mithril", "graphene", "blockhammer"]
+    )
+    def test_chunked_vs_scalar(self, scheme, monkeypatch):
+        monkeypatch.setenv("REPRO_SOA_CHUNK", "64")
+        _run_both(_job(scheme), expect_arena=_ARENA_SHAPE[scheme])
+
+    def test_chunked_equals_unchunked_turbo(self, monkeypatch):
+        from repro.sim.soa import StreamedTraceSoA
+
+        job = _job("mithril")
+        traces, factory, config, rfm_th = materialize_job(job)
+
+        def build():
+            return TurboSimulatedSystem(
+                traces, scheme_factory=factory, config=config,
+                rfm_th=rfm_th, flip_th=job.flip_th,
+            )
+
+        full = build().run()
+        monkeypatch.setenv("REPRO_SOA_CHUNK", "64")
+        chunked_system = build()
+        assert all(
+            isinstance(soa, StreamedTraceSoA)
+            for soa in chunked_system._soa
+        )
+        assert chunked_system.run() == full
+        # The windows really streamed (several loads per trace).
+        assert all(soa.loads > 1 for soa in chunked_system._soa)
 
 
 class TestScaleInvariants:

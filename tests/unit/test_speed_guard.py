@@ -148,6 +148,64 @@ class TestCliGuard:
         assert output.exists()
 
 
+class TestPerWorkloadSpeedups:
+    """The per-(workload, scheme) attribution attached to candidate
+    entries alongside the aggregate speedup."""
+
+    @staticmethod
+    def _rows_entry(rows):
+        entry = _entry("turbo-controlled")
+        entry["rows"] = rows
+        return entry
+
+    @staticmethod
+    def _row(workload, scheme, eps):
+        return {
+            "workload": workload, "scheme": scheme,
+            "events_per_sec": eps,
+        }
+
+    def test_rows_matched_by_workload_and_scheme(self):
+        from repro.speed import per_workload_speedups
+
+        baseline = self._rows_entry([
+            self._row("mix-high", "none", 100.0),
+            self._row("mix-high", "mithril", 50.0),
+        ])
+        candidate = self._rows_entry([
+            self._row("mix-high", "none", 250.0),
+            self._row("mix-high", "mithril", 75.0),
+        ])
+        assert per_workload_speedups(baseline, candidate) == [
+            {"workload": "mix-high", "scheme": "none", "speedup": 2.5},
+            {"workload": "mix-high", "scheme": "mithril", "speedup": 1.5},
+        ]
+
+    def test_unmatched_and_zero_baseline_rows_skipped(self):
+        from repro.speed import per_workload_speedups
+
+        baseline = self._rows_entry([
+            self._row("mix-high", "none", 100.0),
+            self._row("fft", "graphene", 0.0),
+        ])
+        candidate = self._rows_entry([
+            self._row("mix-high", "none", 120.0),
+            self._row("fft", "graphene", 80.0),   # zero baseline
+            self._row("radix", "mithril", 90.0),  # not in baseline
+        ])
+        assert per_workload_speedups(baseline, candidate) == [
+            {"workload": "mix-high", "scheme": "none", "speedup": 1.2},
+        ]
+
+    def test_missing_rows_keys_are_harmless(self):
+        from repro.speed import per_workload_speedups
+
+        assert per_workload_speedups({}, {}) == []
+        assert per_workload_speedups(
+            {"rows": None}, self._rows_entry([self._row("a", "b", 1.0)])
+        ) == []
+
+
 class TestControlledPairsFlow:
     """The --pairs N median flow (this CPU's phase swings >2x)."""
 
@@ -199,6 +257,10 @@ class TestControlledPairsFlow:
         assert record["entries"][0]["backend"] == "scalar"
         # the recorded pair is the *median* measurement, not the best
         assert candidate["total_wall_s"] == pytest.approx(0.5)
+        # per-workload attribution rides along with the aggregate
+        assert candidate["per_workload_speedup"] == [
+            {"workload": "mix-high", "scheme": "none", "speedup": 2.0}
+        ]
 
     def test_label_must_claim_controlled(self, tmp_path):
         from repro.speed import run_controlled_pairs
