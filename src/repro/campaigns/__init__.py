@@ -23,6 +23,7 @@ from repro.campaigns.executor import (
     CampaignRunStats,
     manifest_path,
     run_campaign,
+    verify_campaign,
 )
 from repro.campaigns.planner import (
     CampaignPlan,
@@ -56,6 +57,7 @@ __all__ = [
     "campaign_dir",
     "plan_campaign",
     "run_campaign",
+    "verify_campaign",
     "manifest_path",
     "build_report",
     "format_report",

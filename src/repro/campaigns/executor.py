@@ -1,4 +1,5 @@
-"""Resumable campaign execution on top of :func:`run_jobs`.
+"""Resumable, fault-tolerant campaign execution on top of
+:func:`run_jobs`.
 
 A campaign's deduplicated job pool runs in batches; after every batch
 the **campaign manifest** (``<campaign dir>/<name>/manifest.json``) is
@@ -16,6 +17,29 @@ which both strands the old cache generation and resets the manifest's
 completion set — a resumed campaign can never mix results from two
 simulator versions.
 
+On top of resumability, this layer carries the campaign through real
+faults (docs/FAULTS.md):
+
+* batches run with ``on_failure="skip"`` — jobs that exhaust the
+  executor's retry budget (crashing, hanging, or raising workers) are
+  **quarantined** in the manifest with their full
+  :class:`~repro.engine.supervisor.JobFailure` diagnostics instead of
+  aborting the campaign;
+* manifest writes rotate the previous good copy to
+  ``manifest.json.prev`` before the atomic replace, and
+  :meth:`CampaignManifest.load` falls back to it (quarantining the
+  torn file) when the primary is corrupt — a ``kill -9`` mid-
+  checkpoint costs at most one batch of completion records, never the
+  campaign;
+* once every point is accounted for, a **store audit** re-reads every
+  completed entry through the cache's verified-read path; entries
+  that went missing or corrupt on disk are demoted and re-simulated
+  in the same invocation (the corrupt files land in the store's
+  ``quarantine/``);
+* ``SIGTERM``/``SIGINT`` request a **graceful drain**: the in-flight
+  batch finishes, the manifest checkpoints, and the run returns
+  resumable (a second signal aborts the old-fashioned way).
+
 Completed batches also annotate the result-cache index with
 per-experiment provenance (``experiments`` field), so
 ``repro cache --query experiment=<name>`` works after a campaign run.
@@ -25,6 +49,8 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,13 +59,22 @@ from typing import Any, Dict, List, Optional
 from repro.campaigns.planner import CampaignPlan, plan_campaign
 from repro.campaigns.spec import CampaignSpec, campaign_dir
 from repro.engine.cache import ResultCache, code_version
-from repro.engine.executor import run_jobs
+from repro.engine.durable import atomic_write_json, quarantine_file
+from repro.engine.executor import DEFAULT_MAX_RETRIES, run_jobs
 
 MANIFEST_NAME = "manifest.json"
+
+#: Previous good manifest, kept one rotation deep for torn-write
+#: recovery.
+MANIFEST_PREV_SUFFIX = ".prev"
 
 #: Points per checkpoint batch.  Small enough that a kill loses
 #: minutes, large enough that manifest rewrites are noise.
 DEFAULT_BATCH_SIZE = 16
+
+#: Bound on demote-and-resimulate audit rounds per invocation (a
+#: persistently failing disk must not loop forever).
+MAX_AUDIT_ROUNDS = 3
 
 
 @dataclass
@@ -52,6 +87,10 @@ class CampaignRunStats:
     simulated: int = 0             #: points actually simulated
     cache_hits: int = 0            #: points served by the result cache
     batches: int = 0               #: checkpoint batches executed
+    retried: int = 0               #: executor attempts re-queued
+    quarantined: int = 0           #: points quarantined this run
+    audited_bad: int = 0           #: completed entries demoted by audit
+    drained: bool = False          #: stopped early by SIGTERM/SIGINT
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -61,6 +100,10 @@ class CampaignRunStats:
             "simulated": self.simulated,
             "cache_hits": self.cache_hits,
             "batches": self.batches,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "audited_bad": self.audited_bad,
+            "drained": self.drained,
         }
 
 
@@ -72,6 +115,8 @@ class CampaignRunResult:
     manifest_path: Path
     stats: CampaignRunStats
     complete: bool
+    drained: bool = False
+    quarantined: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 class CampaignManifest:
@@ -104,6 +149,7 @@ class CampaignManifest:
                 ],
                 "total_points": plan.total_points,
                 "completed": [],
+                "quarantined": {},
                 "runs": [],
                 "status": "planned",
             },
@@ -111,24 +157,51 @@ class CampaignManifest:
 
     @classmethod
     def load(cls, path: Path) -> Optional["CampaignManifest"]:
+        """Load a manifest, recovering from a torn primary.
+
+        A corrupt ``manifest.json`` (truncated JSON, non-manifest
+        payload) is quarantined next to the campaign state and the
+        previous rotation (``manifest.json.prev``) is tried; only when
+        neither is usable does the campaign restart from scratch —
+        and even then the result cache still turns completed points
+        into cache hits, not re-simulations.
+        """
+        path = Path(path)
+        primary = cls._read(path)
+        if primary is not None:
+            return cls(path, primary)
+        if path.exists():
+            quarantine_file(path, "corrupt campaign manifest")
+        prev = cls._read(Path(str(path) + MANIFEST_PREV_SUFFIX))
+        if prev is not None:
+            notes = prev.setdefault("notes", [])
+            notes.append(
+                "recovered from manifest.json.prev after a torn/corrupt "
+                "primary manifest"
+            )
+            return cls(path, prev)
+        return None
+
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
         try:
             data = json.loads(Path(path).read_text())
         except (OSError, ValueError):
             return None
         if not isinstance(data, dict) or "completed" not in data:
             return None
-        return cls(Path(path), data)
+        return data
 
     @classmethod
     def for_plan(cls, path: Path, plan: CampaignPlan) -> "CampaignManifest":
         """Load-or-create, reconciled against the current plan.
 
-        An existing manifest keeps its completion set only where it is
-        still meaningful: hashes that the current plan still wants,
-        written by the current code version.  A plan change (different
-        grids, new experiments) keeps the overlap; a code-version
-        change resets completion entirely — the cache generation those
-        points lived in is stranded anyway.
+        An existing manifest keeps its completion set (and quarantine
+        records) only where they are still meaningful: hashes that the
+        current plan still wants, written by the current code version.
+        A plan change (different grids, new experiments) keeps the
+        overlap; a code-version change resets completion entirely —
+        the cache generation those points lived in is stranded anyway.
         """
         existing = cls.load(path)
         manifest = cls.fresh(path, plan)
@@ -143,12 +216,19 @@ class CampaignManifest:
             return manifest
         wanted = set(plan.jobs)
         manifest.data["runs"] = list(existing.data.get("runs") or [])
+        if existing.data.get("notes"):
+            manifest.data["notes"] = list(existing.data["notes"])
         manifest.data["created"] = existing.data.get(
             "created", manifest.data["created"]
         )
         manifest.data["completed"] = sorted(
             h for h in existing.data.get("completed") or [] if h in wanted
         )
+        manifest.data["quarantined"] = {
+            h: record
+            for h, record in (existing.data.get("quarantined") or {}).items()
+            if h in wanted
+        }
         manifest.refresh_status()
         return manifest
 
@@ -159,15 +239,22 @@ class CampaignManifest:
         return list(self.data.get("completed") or [])
 
     @property
+    def quarantined(self) -> Dict[str, Dict[str, Any]]:
+        return dict(self.data.get("quarantined") or {})
+
+    @property
     def status(self) -> str:
         return self.data.get("status", "planned")
 
     def refresh_status(self) -> None:
         done = len(self.data.get("completed") or [])
+        bad = len(self.data.get("quarantined") or {})
         total = self.data.get("total_points") or 0
-        if done >= total and total > 0:
+        if total > 0 and done >= total:
             self.data["status"] = "complete"
-        elif done > 0:
+        elif total > 0 and bad and done + bad >= total:
+            self.data["status"] = "quarantined"
+        elif done > 0 or bad > 0:
             self.data["status"] = "running"
         else:
             self.data["status"] = "planned"
@@ -176,7 +263,45 @@ class CampaignManifest:
         completed = set(self.data.get("completed") or [])
         completed.update(job_hashes)
         self.data["completed"] = sorted(completed)
+        quarantined = self.data.get("quarantined") or {}
+        for job_hash in job_hashes:
+            quarantined.pop(job_hash, None)
+        self.data["quarantined"] = quarantined
         self.refresh_status()
+
+    def unmark_completed(self, job_hashes: List[str]) -> None:
+        """Demote points whose store entries failed the audit."""
+        drop = set(job_hashes)
+        self.data["completed"] = sorted(
+            h for h in self.data.get("completed") or [] if h not in drop
+        )
+        self.refresh_status()
+
+    def mark_quarantined(self, failures) -> None:
+        """Record terminal job failures (keyed by hash, diagnostics
+        kept verbatim from the executor's ``JobFailure`` records)."""
+        quarantined = self.data.get("quarantined") or {}
+        for failure in failures:
+            record = failure.as_dict()
+            record["quarantined_at"] = _utc_now()
+            quarantined[failure.job_hash] = record
+        self.data["quarantined"] = quarantined
+        self.refresh_status()
+
+    def clear_quarantine(self, job_hashes=None) -> List[str]:
+        """Forget quarantine records (all, or the given hashes) so the
+        next run retries them; returns the cleared hashes."""
+        quarantined = self.data.get("quarantined") or {}
+        cleared = (
+            list(quarantined)
+            if job_hashes is None
+            else [h for h in job_hashes if h in quarantined]
+        )
+        for job_hash in cleared:
+            quarantined.pop(job_hash, None)
+        self.data["quarantined"] = quarantined
+        self.refresh_status()
+        return cleared
 
     def record_run(self, stats: CampaignRunStats) -> None:
         self.data.setdefault("runs", []).append(
@@ -186,6 +311,7 @@ class CampaignManifest:
     def experiment_progress(self) -> List[Dict[str, Any]]:
         """Per-experiment completion counts (for ``campaign status``)."""
         completed = set(self.completed)
+        quarantined = set(self.data.get("quarantined") or {})
         progress = []
         for experiment in self.data.get("experiments") or []:
             hashes = set(experiment.get("job_hashes") or [])
@@ -195,15 +321,29 @@ class CampaignManifest:
                     "kind": experiment.get("kind"),
                     "points": len(hashes),
                     "completed": len(hashes & completed),
+                    "quarantined": len(hashes & quarantined),
                 }
             )
         return progress
 
     def save(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(self.data, indent=2) + "\n")
-        os.replace(tmp, self.path)
+        """Checkpoint atomically, rotating the previous good copy.
+
+        The rotation only happens when the current primary parses as a
+        manifest — a torn primary (injected or real) must never
+        overwrite the last good ``.prev`` with garbage.
+        """
+        prev = Path(str(self.path) + MANIFEST_PREV_SUFFIX)
+        if self._read(self.path) is not None:
+            try:
+                os.replace(self.path, prev)
+            except OSError:
+                pass
+        atomic_write_json(
+            self.path, self.data, indent=2,
+            fault_site="manifest.write",
+            fault_key=str(self.data.get("campaign") or ""),
+        )
 
 
 def _utc_now() -> str:
@@ -212,6 +352,49 @@ def _utc_now() -> str:
 
 def manifest_path(name: str, directory=None) -> Path:
     return campaign_dir(directory) / name / MANIFEST_NAME
+
+
+class _DrainGuard:
+    """Turn the first SIGTERM/SIGINT into a graceful-drain request.
+
+    The batch in flight finishes, the manifest checkpoints, and
+    :func:`run_campaign` returns a resumable result.  A second signal
+    falls back to an immediate ``KeyboardInterrupt`` (the manifest is
+    still no worse than the last checkpoint).  Outside the main
+    thread, signal handlers cannot be installed; the guard degrades to
+    a no-op.
+    """
+
+    def __init__(self):
+        self.requested = False
+        self._signal_name: Optional[str] = None
+        self._previous = []
+
+    def __enter__(self) -> "_DrainGuard":
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous = signal.signal(signum, self._handle)
+                except (ValueError, OSError):
+                    continue
+                self._previous.append((signum, previous))
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        for signum, previous in self._previous:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous = []
+
+    def _handle(self, signum, _frame) -> None:
+        if self.requested:
+            raise KeyboardInterrupt(
+                f"second {signal.Signals(signum).name}: aborting drain"
+            )
+        self.requested = True
+        self._signal_name = signal.Signals(signum).name
 
 
 def run_campaign(
@@ -223,6 +406,9 @@ def run_campaign(
     cache_dir=None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     progress=None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    job_timeout: Optional[float] = None,
+    retry_quarantined: bool = False,
 ) -> CampaignRunResult:
     """Run (or resume) a campaign to completion.
 
@@ -231,41 +417,112 @@ def run_campaign(
     points that were not yet complete.  ``progress`` is an optional
     ``callable(str)`` for per-batch status lines (the CLI passes
     ``print``).
+
+    ``max_retries``/``job_timeout`` go straight to the supervised
+    executor; jobs that exhaust the budget are quarantined in the
+    manifest (with diagnostics) rather than aborting the campaign, and
+    stay skipped on resume until ``retry_quarantined=True`` clears
+    them for another try.
     """
     plan = plan_campaign(spec, scale=scale)
     manifest = CampaignManifest.for_plan(
         manifest_path(spec.name, directory), plan
     )
     stats = CampaignRunStats(total_points=plan.total_points)
+    cache = ResultCache(cache_dir) if use_cache else None
+
+    if retry_quarantined:
+        cleared = manifest.clear_quarantine()
+        if cleared and progress is not None:
+            progress(
+                f"[{plan.spec.name}] retrying {len(cleared)} "
+                "quarantined point(s)"
+            )
 
     completed = set(manifest.completed)
-    pending = [h for h in plan.jobs if h not in completed]
-    stats.previously_complete = plan.total_points - len(pending)
+    skip = completed | set(manifest.quarantined)
+    pending = [h for h in plan.jobs if h not in skip]
+    stats.previously_complete = len(completed & set(plan.jobs))
 
     batch_size = max(1, int(batch_size))
+    audit_rounds = 0
     try:
-        for start in range(0, len(pending), batch_size):
-            batch = pending[start:start + batch_size]
-            run_jobs(
-                [plan.jobs[job_hash] for job_hash in batch],
-                n_jobs=n_jobs,
-                use_cache=use_cache,
-                cache_dir=cache_dir,
-            )
-            batch_stats = run_jobs.last_stats
-            stats.batches += 1
-            stats.submitted += len(batch)
-            stats.simulated += batch_stats.simulated
-            stats.cache_hits += batch_stats.cache_hits
-            manifest.mark_completed(batch)
-            manifest.save()
-            if progress is not None:
-                done = len(manifest.completed)
-                progress(
-                    f"[{plan.spec.name}] {done}/{plan.total_points} points "
-                    f"({batch_stats.simulated} simulated, "
-                    f"{batch_stats.cache_hits} cached this batch)"
-                )
+        with _DrainGuard() as drain:
+            while True:
+                for start in range(0, len(pending), batch_size):
+                    batch = pending[start:start + batch_size]
+                    run_jobs(
+                        [plan.jobs[job_hash] for job_hash in batch],
+                        n_jobs=n_jobs,
+                        use_cache=use_cache,
+                        cache_dir=cache_dir,
+                        max_retries=max_retries,
+                        job_timeout=job_timeout,
+                        on_failure="skip",
+                    )
+                    batch_stats = run_jobs.last_stats
+                    failed = {f.job_hash for f in batch_stats.failures}
+                    stats.batches += 1
+                    stats.submitted += len(batch)
+                    stats.simulated += batch_stats.simulated
+                    stats.cache_hits += batch_stats.cache_hits
+                    stats.retried += batch_stats.retried
+                    stats.quarantined += len(failed)
+                    manifest.mark_completed(
+                        [h for h in batch if h not in failed]
+                    )
+                    manifest.mark_quarantined(batch_stats.failures)
+                    manifest.save()
+                    if progress is not None:
+                        done = len(manifest.completed)
+                        line = (
+                            f"[{plan.spec.name}] {done}/"
+                            f"{plan.total_points} points "
+                            f"({batch_stats.simulated} simulated, "
+                            f"{batch_stats.cache_hits} cached this batch)"
+                        )
+                        if failed:
+                            line += f", {len(failed)} quarantined"
+                        progress(line)
+                    if drain.requested:
+                        break
+                if drain.requested:
+                    stats.drained = True
+                    manifest.data.setdefault("notes", []).append(
+                        f"graceful drain ({drain._signal_name}) at "
+                        f"{_utc_now()}: in-flight batch checkpointed, "
+                        "resume with the same command"
+                    )
+                    break
+                # -- store audit: completed points must really be on
+                # disk and readable; demote + re-simulate what is not.
+                if cache is None:
+                    break
+                bad = [
+                    job_hash
+                    for job_hash in manifest.completed
+                    if job_hash in plan.jobs
+                    and cache.verify(plan.jobs[job_hash]) != "ok"
+                ]
+                if not bad:
+                    break
+                audit_rounds += 1
+                stats.audited_bad += len(bad)
+                manifest.unmark_completed(bad)
+                manifest.save()
+                if progress is not None:
+                    progress(
+                        f"[{plan.spec.name}] store audit: {len(bad)} "
+                        "completed entr(ies) missing or corrupt — "
+                        "quarantined on disk, re-simulating"
+                    )
+                if audit_rounds >= MAX_AUDIT_ROUNDS:
+                    manifest.data.setdefault("notes", []).append(
+                        f"store audit gave up after {audit_rounds} "
+                        f"rounds with {len(bad)} bad entr(ies)"
+                    )
+                    break
+                pending = bad
     finally:
         manifest.record_run(stats)
         manifest.refresh_status()
@@ -281,7 +538,71 @@ def run_campaign(
         manifest_path=manifest.path,
         stats=stats,
         complete=manifest.status == "complete",
+        drained=stats.drained,
+        quarantined=manifest.quarantined,
     )
+
+
+def verify_campaign(
+    spec: CampaignSpec,
+    directory=None,
+    scale: Optional[float] = None,
+    cache_dir=None,
+) -> Dict[str, Any]:
+    """Exactly-once audit of a campaign's results in the store.
+
+    Re-plans the campaign and checks, without simulating anything,
+    that every planned job hash resolves to exactly one verified store
+    entry (or a manifest quarantine record).  The payload backs
+    ``repro campaign verify`` and the chaos CI gate:
+
+    * ``missing`` — planned, marked complete, but no entry on disk;
+    * ``corrupt`` — entry present but unreadable/seal-failed (the
+      check quarantines it as a side effect);
+    * ``unaccounted`` — planned but neither completed nor quarantined;
+    * ``duplicates`` — hashes with entries in both store layouts;
+    * ``quarantined`` — the manifest's quarantine records.
+
+    ``ok`` is True when the store holds exactly the planned results:
+    no missing/corrupt/unaccounted/duplicate entries (quarantined
+    points are accounted for, but reported for the strict gate).
+    """
+    plan = plan_campaign(spec, scale=scale)
+    manifest = CampaignManifest.load(manifest_path(spec.name, directory))
+    cache = ResultCache(cache_dir)
+    completed = set(manifest.completed) if manifest else set()
+    quarantined = manifest.quarantined if manifest else {}
+    missing: List[str] = []
+    corrupt: List[str] = []
+    unaccounted: List[str] = []
+    verified = 0
+    for job_hash, job in plan.jobs.items():
+        if job_hash in completed:
+            state = cache.verify(job)
+            if state == "ok":
+                verified += 1
+            elif state == "missing":
+                missing.append(job_hash)
+            else:
+                corrupt.append(job_hash)
+        elif job_hash not in quarantined:
+            unaccounted.append(job_hash)
+    duplicates = [
+        h for h in cache.duplicate_hashes() if h in plan.jobs
+    ]
+    return {
+        "campaign": plan.spec.name,
+        "planned": plan.total_points,
+        "completed": len(completed & set(plan.jobs)),
+        "verified": verified,
+        "missing": sorted(missing),
+        "corrupt": sorted(corrupt),
+        "unaccounted": sorted(unaccounted),
+        "duplicates": duplicates,
+        "quarantined": quarantined,
+        "store_quarantine_log": cache.quarantine_records(),
+        "ok": not (missing or corrupt or unaccounted or duplicates),
+    }
 
 
 def _annotate_provenance(plan: CampaignPlan, cache_dir=None) -> None:

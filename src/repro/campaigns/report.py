@@ -108,6 +108,8 @@ def build_report(
         "code_version": manifest.data.get("code_version"),
         "total_points": manifest.data.get("total_points"),
         "completed_points": len(manifest.completed),
+        "quarantined_points": len(manifest.quarantined),
+        "quarantined": manifest.quarantined,
         "runs": manifest.data.get("runs") or [],
         "experiments": experiments,
     }
@@ -133,6 +135,24 @@ def format_report(report: Dict[str, Any]) -> str:
             f"{total_sim} point(s) simulated, "
             f"{total_hits} served from cache"
         )
+    quarantined = report.get("quarantined") or {}
+    if quarantined:
+        lines += [
+            "",
+            f"## Quarantined points ({len(quarantined)})",
+            "",
+            "These points exhausted their retry budget and were "
+            "skipped; rerun with `--retry-quarantined` once the cause "
+            "is fixed.",
+            "",
+        ]
+        for job_hash, record in sorted(quarantined.items()):
+            lines.append(
+                f"- `{job_hash[:12]}` {record.get('scheme')}/"
+                f"{record.get('workload')}: {record.get('reason')} "
+                f"after {record.get('attempts')} attempt(s) — "
+                f"{record.get('message')}"
+            )
     for experiment in report.get("experiments") or []:
         replay = experiment.get("replay") or {}
         lines += [

@@ -16,8 +16,10 @@ cache               Show (or clear / --gc / --migrate) the simulation
                     result cache; ``--stats`` for per-generation
                     size/age, ``--query`` against the sharded index.
 campaign <cmd>      Declarative multi-experiment campaigns: list,
-                    plan, run (resumable), status, report
-                    (docs/CAMPAIGNS.md).
+                    plan, run (resumable + fault-tolerant: retries,
+                    per-job timeouts, quarantine, graceful drain),
+                    status, verify (exactly-once store audit), report
+                    (docs/CAMPAIGNS.md, docs/FAULTS.md).
 bench-speed         Time simulate() on a preset; append to the
                     BENCH_SIM_SPEED.json speed trajectory
                     (``*-controlled`` labels are policed; see
@@ -379,6 +381,9 @@ def _cmd_campaign_run(args) -> int:
             use_cache=not args.no_cache,
             batch_size=args.batch_size,
             progress=print,
+            max_retries=args.max_retries,
+            job_timeout=args.job_timeout,
+            retry_quarantined=args.retry_quarantined,
         )
     except CampaignError as error:
         print(error)
@@ -390,6 +395,17 @@ def _cmd_campaign_run(args) -> int:
         f"{stats.simulated} simulated, {stats.cache_hits} cache hits"
     )
     print(f"manifest: {result.manifest_path}")
+    if result.quarantined:
+        print(f"quarantined ({len(result.quarantined)} point(s) — "
+              "`campaign status` for diagnostics, rerun with "
+              "--retry-quarantined to retry):")
+        for job_hash, record in sorted(result.quarantined.items()):
+            print(f"  {job_hash[:12]} {record.get('scheme')}/"
+                  f"{record.get('workload')}: {record.get('reason')} "
+                  f"after {record.get('attempts')} attempt(s)")
+    if result.drained:
+        print("drained: stopped on signal after checkpointing the "
+              "in-flight batch; rerun the same command to resume")
     if result.complete and not args.no_report:
         report = build_report(
             spec, directory=args.dir, n_jobs=args.jobs,
@@ -401,6 +417,10 @@ def _cmd_campaign_run(args) -> int:
         )
         (report_dir / "report.md").write_text(format_report(report))
         print(f"report: {report_dir / 'report.md'}")
+    if result.drained:
+        return 3
+    if result.quarantined:
+        return 2
     return 0
 
 
@@ -428,9 +448,12 @@ def _cmd_campaign_status(args) -> int:
             "status": manifest.status,
             "total_points": manifest.data.get("total_points"),
             "completed_points": len(manifest.completed),
+            "quarantined_points": len(manifest.quarantined),
+            "quarantined": manifest.quarantined,
             "code_version": manifest.data.get("code_version"),
             "experiments": manifest.experiment_progress(),
             "runs": manifest.data.get("runs") or [],
+            "notes": manifest.data.get("notes") or [],
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -440,15 +463,67 @@ def _cmd_campaign_status(args) -> int:
     print(f"status:     {manifest.status} ({done}/{total} points)")
     print(f"code ver:   {manifest.data.get('code_version')}")
     for experiment in manifest.experiment_progress():
-        print(f"  {experiment['name']:<20} ({experiment['kind']}) "
-              f"{experiment['completed']}/{experiment['points']}")
+        line = (f"  {experiment['name']:<20} ({experiment['kind']}) "
+                f"{experiment['completed']}/{experiment['points']}")
+        if experiment.get("quarantined"):
+            line += f" [{experiment['quarantined']} quarantined]"
+        print(line)
+    quarantined = manifest.quarantined
+    if quarantined:
+        print(f"quarantine: {len(quarantined)} point(s)")
+        for job_hash, record in sorted(quarantined.items()):
+            print(f"  {job_hash[:12]} {record.get('scheme')}/"
+                  f"{record.get('workload')}: {record.get('reason')} "
+                  f"after {record.get('attempts')} attempt(s) — "
+                  f"{record.get('message')}")
     runs = manifest.data.get("runs") or []
     if runs:
         last = runs[-1]
         print(f"last run:   {last.get('finished')} — "
               f"{last.get('simulated', 0)} simulated, "
               f"{last.get('cache_hits', 0)} cache hits")
+    for note in manifest.data.get("notes") or []:
+        print(f"note:       {note}")
     return 0
+
+
+def _cmd_campaign_verify(args) -> int:
+    from repro.campaigns import CampaignError, get_campaign, verify_campaign
+
+    try:
+        spec = get_campaign(args.name)
+        audit = verify_campaign(spec, directory=args.dir, scale=args.scale)
+    except CampaignError as error:
+        print(error)
+        return 1
+    strict_ok = audit["ok"] and not audit["quarantined"]
+    if args.json:
+        payload = dict(audit)
+        payload["strict_ok"] = strict_ok
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"campaign:    {audit['campaign']}")
+        print(f"planned:     {audit['planned']} point(s)")
+        print(f"verified:    {audit['verified']} "
+              "(present, seal-checked, exactly once)")
+        for key in ("missing", "corrupt", "unaccounted", "duplicates"):
+            values = audit[key]
+            print(f"{key + ':':<13}{len(values)}"
+                  + (f"  {' '.join(h[:12] for h in values[:8])}"
+                     if values else ""))
+        print(f"quarantined: {len(audit['quarantined'])}")
+        for job_hash, record in sorted(audit["quarantined"].items()):
+            print(f"  {job_hash[:12]} {record.get('scheme')}/"
+                  f"{record.get('workload')}: {record.get('reason')}")
+        if audit["store_quarantine_log"]:
+            print(f"store quarantine log: "
+                  f"{len(audit['store_quarantine_log'])} record(s)")
+        print("verdict:     "
+              + ("OK" if (strict_ok if args.strict else audit["ok"])
+                 else "FAIL"))
+    if args.strict:
+        return 0 if strict_ok else 1
+    return 0 if audit["ok"] else 1
 
 
 def _cmd_campaign_report(args) -> int:
@@ -818,6 +893,15 @@ def main(argv=None) -> int:
     c_run.add_argument("--no-report", action="store_true",
                        help="skip writing report.md/report.json on "
                             "completion")
+    c_run.add_argument("--max-retries", type=int, default=2,
+                       help="retry budget per job before quarantine "
+                            "(crash, exception, or timeout; default 2)")
+    c_run.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job lease in seconds; a job past its "
+                            "lease gets its worker killed and retries")
+    c_run.add_argument("--retry-quarantined", action="store_true",
+                       help="clear the manifest quarantine and retry "
+                            "those points this run")
     c_run.set_defaults(func=_cmd_campaign_run)
 
     c_status = csub.add_parser(
@@ -826,6 +910,17 @@ def main(argv=None) -> int:
     _campaign_common(c_status)
     c_status.add_argument("--json", action="store_true")
     c_status.set_defaults(func=_cmd_campaign_status)
+
+    c_verify = csub.add_parser(
+        "verify",
+        help="audit exactly-once result integrity against the store",
+    )
+    _campaign_common(c_verify, with_scale=True)
+    c_verify.add_argument("--json", action="store_true")
+    c_verify.add_argument("--strict", action="store_true",
+                          help="also fail on quarantined points "
+                               "(the chaos CI gate)")
+    c_verify.set_defaults(func=_cmd_campaign_verify)
 
     c_report = csub.add_parser(
         "report", help="render the campaign report (markdown or JSON)"

@@ -42,10 +42,23 @@ from repro.engine.catalog import (
     traceset_spec,
     workload_kinds,
 )
-from repro.engine.executor import RunStats, execute_job, run_jobs
+from repro.engine.durable import (
+    CorruptEntryError,
+    atomic_write_json,
+    quarantine_file,
+    read_json_verified,
+)
+from repro.engine.executor import (
+    DEFAULT_MAX_RETRIES,
+    JobExecutionError,
+    RunStats,
+    execute_job,
+    run_jobs,
+)
 from repro.engine.job import SimJob, WorkloadSpec, freeze_params
 from repro.engine.plan import JobPlan, PlanResults
 from repro.engine.store import CacheIndex, GenerationStats
+from repro.engine.supervisor import JobFailure, RetryPolicy, SupervisedPool
 
 __all__ = [
     "SimJob",
@@ -56,6 +69,15 @@ __all__ = [
     "RunStats",
     "run_jobs",
     "execute_job",
+    "JobExecutionError",
+    "JobFailure",
+    "RetryPolicy",
+    "SupervisedPool",
+    "DEFAULT_MAX_RETRIES",
+    "CorruptEntryError",
+    "atomic_write_json",
+    "quarantine_file",
+    "read_json_verified",
     "ResultCache",
     "CacheIndex",
     "GenerationStats",

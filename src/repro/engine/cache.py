@@ -33,11 +33,19 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional
 
+from repro.engine.durable import (
+    QUARANTINE_DIR,
+    CorruptEntryError,
+    atomic_write_json,
+    quarantine_file,
+    quarantine_log,
+    read_json_verified,
+    seal,
+)
 from repro.engine.job import SimJob
 from repro.engine.store import (
     INDEX_NAME,
@@ -142,36 +150,104 @@ class ResultCache:
         return self.version_dir() / f"{job.job_hash()}.json"
 
     def get(self, job: SimJob) -> Optional[SimulationResult]:
-        """The cached result for ``job``, or None (corrupt files miss).
+        """The cached result for ``job``, or None.
 
         Looks in the sharded location first, then falls back to the
         flat legacy layout, so caches written before sharding keep
-        serving hits without migration.
+        serving hits without migration.  A truncated, unparsable, or
+        seal-failing entry (:mod:`repro.engine.durable`) is moved into
+        the generation's ``quarantine/`` directory and reported as a
+        miss — the point re-simulates instead of raising (or serving
+        garbage) mid-campaign.
         """
         for path in (self.path_for(job), self.flat_path_for(job)):
             try:
-                with path.open() as handle:
-                    record = json.load(handle)
+                record = self._read_entry(path)
+            except FileNotFoundError:
+                continue
+            if record is None:
+                continue
+            try:
                 return result_from_dict(record["result"])
-            except (OSError, ValueError, KeyError, TypeError):
+            except (KeyError, TypeError, ValueError) as error:
+                quarantine_file(
+                    path, f"undecodable result payload: {error}",
+                    root=self.version_dir(),
+                )
                 continue
         return None
 
+    def _read_entry(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Verified entry record at ``path``; corrupt ⇒ quarantine + None.
+
+        ``FileNotFoundError`` propagates (a missing entry is a miss at
+        a different layout, not corruption).
+        """
+        try:
+            return read_json_verified(path)
+        except FileNotFoundError:
+            raise
+        except CorruptEntryError as error:
+            quarantine_file(path, str(error), root=self.version_dir())
+            return None
+
     def put(self, job: SimJob, result: SimulationResult) -> None:
-        """Store a result; an unwritable cache degrades to a no-op."""
+        """Store a result; an unwritable cache degrades to a no-op.
+
+        The entry is sealed (payload sha256) and written via atomic
+        temp-file rename, so a process killed mid-``put`` leaves
+        either the previous entry or no entry — never a torn one.
+        """
         try:
             path = self.path_for(job)
-            path.parent.mkdir(parents=True, exist_ok=True)
             record = {
                 "job": job.canonical(), "result": result_to_dict(result)
             }
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("w") as handle:
-                json.dump(record, handle)
-            os.replace(tmp, path)
+            atomic_write_json(
+                path, seal(record),
+                fault_site="cache.entry.write", fault_key=job.job_hash(),
+            )
         except OSError:
             return
         self.index_for_version().append(record_for_put(job, path))
+
+    def verify(self, job: SimJob) -> str:
+        """Integrity state of one job's entry without deserializing it.
+
+        Returns ``"ok"``, ``"missing"``, or ``"corrupt"`` (the corrupt
+        file is quarantined as a side effect, same as :meth:`get`).
+        Used by ``repro campaign verify`` and the campaign audit.
+        """
+        state = "missing"
+        for path in (self.path_for(job), self.flat_path_for(job)):
+            try:
+                record = self._read_entry(path)
+            except FileNotFoundError:
+                continue
+            if record is None:
+                state = "corrupt"
+                continue
+            if "result" in record:
+                return "ok"
+            state = "corrupt"
+        return state
+
+    def duplicate_hashes(self, version: Optional[str] = None) -> list:
+        """Job hashes present in both the flat and sharded layouts.
+
+        A hash must resolve to exactly one entry; duplicates can only
+        come from a legacy migration interrupted halfway and are worth
+        surfacing (``campaign verify`` gates on zero).
+        """
+        version_dir = self.version_dir(version)
+        seen: Dict[str, int] = {}
+        for path in iter_entry_paths(version_dir):
+            seen[path.stem] = seen.get(path.stem, 0) + 1
+        return sorted(h for h, count in seen.items() if count > 1)
+
+    def quarantine_records(self, version: Optional[str] = None) -> list:
+        """Quarantine-log records of one generation (default live)."""
+        return quarantine_log(self.version_dir(version))
 
     def entry_count(self, version: Optional[str] = None) -> int:
         """Number of cached results for one generation (default live)."""
@@ -324,11 +400,22 @@ class ResultCache:
         return removed
 
     def _remove_generation_scaffolding(self, version_dir: Path) -> None:
-        """Drop a generation's index and emptied shard/version dirs."""
+        """Drop a generation's index, quarantine, and emptied dirs."""
         try:
             (version_dir / INDEX_NAME).unlink()
         except OSError:
             pass
+        quarantine = version_dir / QUARANTINE_DIR
+        if quarantine.is_dir():
+            for stale in list(quarantine.iterdir()):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+            try:
+                quarantine.rmdir()
+            except OSError:
+                pass
         for child in list(version_dir.iterdir()) if (
             version_dir.is_dir()
         ) else []:

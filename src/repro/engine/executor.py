@@ -1,12 +1,16 @@
-"""The job executor: dedup → cache → (parallel) simulate.
+"""The job executor: dedup → cache → supervised (parallel) simulate.
 
 :func:`run_jobs` is the one entry point every experiment driver and
 bench goes through.  Results come back in input order; identical jobs
 (same :meth:`~repro.engine.job.SimJob.job_hash`) are simulated once
 and fanned back out, warm cache entries skip simulation entirely, and
-``n_jobs > 1`` distributes the remaining work over a
-``ProcessPoolExecutor``.  ``n_jobs=1`` is a deterministic serial path
-with no pool involved at all.
+``n_jobs > 1`` distributes the remaining work over a supervised
+worker pool (:mod:`repro.engine.supervisor`): per-job leases with
+optional timeouts, crash detection, retry with exponential backoff,
+and quarantine of poison jobs instead of opaque pool errors.
+``n_jobs=1`` is a deterministic serial path with no pool involved at
+all (unless a ``job_timeout`` is requested, which needs a worker
+process to enforce).
 
 Worker processes receive only the pickled :class:`SimJob`; traces are
 rebuilt from their seeded generators inside the child, so parallel
@@ -14,21 +18,53 @@ runs are byte-identical to serial ones.
 
 Every call publishes a :class:`RunStats` on ``run_jobs.last_stats``
 (``simulated == 0`` on a fully warm cache is the invariant the
-determinism tests pin down).
+determinism tests pin down).  Jobs that exhaust their retry budget
+surface as structured :class:`~repro.engine.supervisor.JobFailure`
+records on ``last_stats.failures`` — with job hash, scheme, workload,
+per-attempt events, and the traceback — and either raise a
+:class:`JobExecutionError` (``on_failure="raise"``, the default) or
+leave ``None`` in their result slots (``on_failure="skip"``, what the
+campaign executor uses to quarantine and keep going).
 """
 
 from __future__ import annotations
 
+import time
+import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.cache import ResultCache
 from repro.engine.catalog import build_config, build_workload, scheme_factory_for
 from repro.engine.job import SimJob
+from repro.engine.supervisor import (
+    JobFailure,
+    RetryPolicy,
+    SupervisedPool,
+)
 from repro.sim.metrics import SimulationResult
+
+#: Default retry budget for failed/crashed/timed-out jobs.
+DEFAULT_MAX_RETRIES = 2
+
+
+class JobExecutionError(RuntimeError):
+    """Jobs failed after every retry; carries the structured records.
+
+    The message leads with the first failure's identity (hash, scheme,
+    workload, reason) so a campaign log is actionable without digging
+    — the full per-job diagnostics live on :attr:`failures`.
+    """
+
+    def __init__(self, failures: List[JobFailure]):
+        self.failures = list(failures)
+        first = self.failures[0]
+        extra = (
+            f" (and {len(self.failures) - 1} more)"
+            if len(self.failures) > 1 else ""
+        )
+        super().__init__(f"job failed: {first.describe()}{extra}")
 
 
 @dataclass
@@ -38,8 +74,11 @@ class RunStats:
     total: int = 0        #: jobs requested (including duplicates)
     unique: int = 0       #: distinct job hashes
     cache_hits: int = 0   #: unique jobs served from the on-disk cache
-    simulated: int = 0    #: unique jobs actually executed
+    simulated: int = 0    #: unique jobs successfully executed
     n_jobs: int = 1       #: worker processes used
+    retried: int = 0      #: attempts re-queued after a failure
+    failed: int = 0       #: unique jobs that exhausted their retries
+    failures: List[JobFailure] = field(default_factory=list)
 
 
 def materialize_job(job: SimJob):
@@ -73,13 +112,52 @@ def execute_job(job: SimJob) -> SimulationResult:
     )
 
 
-def _execute_parallel(
-    missing: List[Tuple[str, SimJob]], workers: int
+def _execute_serial(
+    missing: List[Tuple[str, SimJob]], policy: RetryPolicy, stats: RunStats
 ) -> Dict[str, SimulationResult]:
-    jobs = [job for _hash, job in missing]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        completed = list(pool.map(execute_job, jobs))
-    return {h: result for (h, _job), result in zip(missing, completed)}
+    """In-process execution with the same retry/quarantine contract.
+
+    Injected crashes (:class:`repro.faults.InjectedCrash`) raise here
+    instead of killing the interpreter, so the serial path exercises
+    the identical retry machinery; ``hang`` faults genuinely hang —
+    lease enforcement needs a worker process (pass a ``job_timeout``).
+    """
+    from repro.faults import maybe_fail
+
+    results: Dict[str, SimulationResult] = {}
+    for job_hash, job in missing:
+        events = []
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                maybe_fail("worker.execute", job_hash)
+                results[job_hash] = execute_job(job)
+                break
+            except Exception as error:  # noqa: BLE001 — recorded below
+                message = f"{type(error).__name__}: {error}"
+                events.append({
+                    "attempt": attempts,
+                    "reason": "exception",
+                    "message": message,
+                })
+                if attempts > policy.max_retries:
+                    stats.failures.append(JobFailure(
+                        job_hash=job_hash,
+                        scheme=job.scheme,
+                        workload=job.workload.kind,
+                        attempts=attempts,
+                        reason="exception",
+                        message=message,
+                        traceback=traceback.format_exc(),
+                        events=events,
+                    ))
+                    break
+                stats.retried += 1
+                delay = policy.delay(job_hash, attempts)
+                if delay > 0.0:
+                    time.sleep(delay)
+    return results
 
 
 def run_jobs(
@@ -87,16 +165,37 @@ def run_jobs(
     n_jobs: int = 1,
     use_cache: bool = True,
     cache_dir=None,
-) -> List[SimulationResult]:
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    job_timeout: Optional[float] = None,
+    on_failure: str = "raise",
+    retry_policy: Optional[RetryPolicy] = None,
+) -> List[Optional[SimulationResult]]:
     """Run a batch of jobs; results align with the input order.
 
     ``n_jobs`` — worker processes (1 = serial, in-process).
     ``use_cache`` — consult/populate the on-disk result cache.
     ``cache_dir`` — cache location override (defaults to
     ``REPRO_CACHE_DIR`` or ``~/.cache/repro/sim``).
+    ``max_retries`` — retry budget per job (crash, exception, or
+    timeout all count; exhausted jobs become structured failures).
+    ``job_timeout`` — per-job lease in seconds; needs worker
+    processes, so a timeout forces the supervised pool even when
+    ``n_jobs=1``.
+    ``on_failure`` — ``"raise"`` (default) raises
+    :class:`JobExecutionError` once all non-failed results are
+    collected and cached; ``"skip"`` returns ``None`` in the failed
+    jobs' slots.  Either way ``run_jobs.last_stats.failures`` carries
+    the records.
+    ``retry_policy`` — full :class:`RetryPolicy` override (backoff
+    shape); wins over ``max_retries``.
     """
+    if on_failure not in ("raise", "skip"):
+        raise ValueError(
+            f"on_failure must be 'raise' or 'skip', got {on_failure!r}"
+        )
     job_list = list(jobs)
     n_jobs = max(1, int(n_jobs))
+    policy = retry_policy or RetryPolicy(max_retries=max_retries)
     stats = RunStats(total=len(job_list), n_jobs=n_jobs)
 
     order: List[str] = []
@@ -124,30 +223,44 @@ def run_jobs(
         for job_hash, job in unique.items()
         if job_hash not in results
     ]
-    stats.simulated = len(missing)
     if missing:
         workers = min(n_jobs, len(missing))
-        if workers > 1:
+        supervised = workers > 1 or job_timeout is not None
+        executed: Dict[str, SimulationResult] = {}
+        if supervised:
+            pool = SupervisedPool(
+                workers, job_timeout=job_timeout, policy=policy
+            )
             try:
-                results.update(_execute_parallel(missing, workers))
-            except (OSError, BrokenProcessPool) as error:
+                outcome = pool.run(missing)
+            except OSError as error:
                 warnings.warn(
-                    f"process pool unavailable ({error}); "
+                    f"worker pool unavailable ({error}); "
                     "falling back to serial execution",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                for job_hash, job in missing:
-                    results[job_hash] = execute_job(job)
+                executed = _execute_serial(missing, policy, stats)
+            else:
+                executed = outcome.results
+                stats.retried += outcome.retried
+                stats.failures.extend(
+                    outcome.failures[h] for h in sorted(outcome.failures)
+                )
         else:
-            for job_hash, job in missing:
-                results[job_hash] = execute_job(job)
+            executed = _execute_serial(missing, policy, stats)
+        results.update(executed)
+        stats.simulated = len(executed)
+        stats.failed = len(stats.failures)
         if cache is not None:
-            for job_hash, job in missing:
-                cache.put(job, results[job_hash])
+            for job_hash, _job in missing:
+                if job_hash in executed:
+                    cache.put(unique[job_hash], executed[job_hash])
 
     run_jobs.last_stats = stats
-    return [results[job_hash] for job_hash in order]
+    if stats.failures and on_failure == "raise":
+        raise JobExecutionError(stats.failures)
+    return [results.get(job_hash) for job_hash in order]
 
 
 #: Stats of the most recent call (None before the first call).

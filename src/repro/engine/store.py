@@ -177,7 +177,16 @@ class CacheIndex:
         self.append_many([record])
 
     def append_many(self, records: Iterable[Dict[str, Any]]) -> None:
-        """Append records; an unwritable index degrades to a no-op."""
+        """Append records; an unwritable index degrades to a no-op.
+
+        Appends are the one non-atomic write in the store — a torn
+        append (partial last line, injectable via the ``index.append``
+        fault site) is tolerated by design: :meth:`load` skips the
+        broken line and :meth:`is_fresh` then disagrees with the entry
+        count, triggering a rebuild.
+        """
+        from repro.faults import maybe_fail
+
         lines = [
             json.dumps(record, sort_keys=True, separators=(",", ":"))
             for record in records
@@ -185,10 +194,14 @@ class CacheIndex:
         if not lines:
             return
         self._merged = None
+        blob = "\n".join(lines) + "\n"
+        rule = maybe_fail("index.append", self.version_dir.name)
+        if rule is not None and rule.kind in ("torn", "corrupt"):
+            blob = blob[: max(1, len(blob) // 2)]
         try:
             self.version_dir.mkdir(parents=True, exist_ok=True)
             with self.path.open("a") as handle:
-                handle.write("\n".join(lines) + "\n")
+                handle.write(blob)
         except OSError:
             pass
 

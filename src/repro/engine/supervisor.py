@@ -1,0 +1,347 @@
+"""Supervised pull-model worker pool: leases, retries, quarantine.
+
+``ProcessPoolExecutor.map`` — the engine's original fan-out — has
+exactly the failure modes a long campaign cannot afford: a worker
+killed mid-job poisons the whole pool (``BrokenProcessPool`` aborts
+every in-flight result), a hung worker stalls the map forever, and a
+raising job surfaces as an opaque error with no record of *which* job
+died.  This module replaces it with a supervisor that treats worker
+death as an expected event:
+
+* **pull model** — each worker owns a dedicated task queue and is
+  handed one job at a time, so the supervisor always knows which job a
+  worker holds (the *lease*) and since when;
+* **timeouts** — a lease older than ``job_timeout`` gets its worker
+  killed (``SIGKILL``) and replaced; the job counts a failed attempt;
+* **retry with backoff** — failed attempts (exception, crash,
+  timeout) are re-queued after an exponential backoff with
+  deterministic per-job jitter, up to ``max_retries`` retries;
+* **quarantine** — a job that exhausts its budget becomes a
+  :class:`JobFailure` with full diagnostics (per-attempt events,
+  traceback or exit code, scheme/workload identity) instead of
+  aborting the batch.  Poison jobs that repeatedly kill their worker
+  are the canonical case.
+
+Workers run :func:`repro.engine.executor.execute_job` behind the
+``worker.execute`` fault-injection site (:mod:`repro.faults`), which
+is how the tests provoke every path above deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.job import SimJob
+
+#: Poll ceiling of the supervisor loop (also the detection latency for
+#: a worker that died without posting a result).
+_POLL_S = 0.25
+
+
+@dataclass
+class RetryPolicy:
+    """How failed attempts are retried.
+
+    ``max_retries`` bounds *re*-tries: a job runs at most
+    ``max_retries + 1`` times.  The backoff for retry ``n`` (1-based)
+    is ``min(cap, base * 2**(n-1))`` scaled by a deterministic jitter
+    in ``[1, 1 + jitter]`` derived from the job hash — reproducible
+    schedules, but simultaneous failures do not retry in lockstep.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    jitter: float = 0.25
+
+    def delay(self, job_hash: str, retry: int) -> float:
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** max(0, retry - 1)),
+        )
+        if base <= 0.0:
+            return 0.0
+        seed = int(job_hash[:8] or "0", 16) * 2654435761 % (1 << 32)
+        frac = ((seed >> 8) & 0xFFFF) / 0xFFFF
+        return base * (1.0 + self.jitter * frac)
+
+
+@dataclass
+class JobFailure:
+    """One job's terminal failure, with enough context to act on it."""
+
+    job_hash: str
+    scheme: str
+    workload: str
+    attempts: int
+    reason: str                     #: last failure kind
+    message: str                    #: one-line last-failure summary
+    traceback: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "job_hash": self.job_hash,
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "message": self.message,
+            "traceback": self.traceback,
+            "events": list(self.events),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_hash[:12]} {self.scheme}/{self.workload}: "
+            f"{self.reason} after {self.attempts} attempt(s) — "
+            f"{self.message}"
+        )
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker loop: one job per lease, structured error capture."""
+    from repro import faults
+    from repro.engine.executor import execute_job
+
+    faults.IN_WORKER = True
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        job_hash, job = item
+        try:
+            faults.maybe_fail("worker.execute", job_hash)
+            result = execute_job(job)
+        except BaseException as error:  # noqa: BLE001 — reported, not hidden
+            result_queue.put((
+                "err", job_hash,
+                f"{type(error).__name__}: {error}",
+                traceback.format_exc(),
+            ))
+        else:
+            result_queue.put(("ok", job_hash, result, None))
+
+
+class _Worker:
+    """One supervised worker process and its lease state."""
+
+    __slots__ = ("proc", "task_queue", "current", "deadline")
+
+    def __init__(self, ctx, result_queue):
+        self.task_queue = ctx.SimpleQueue()
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.proc.start()
+        self.current: Optional[str] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, job_hash: str, job: SimJob,
+               timeout: Optional[float]) -> None:
+        self.task_queue.put((job_hash, job))
+        self.current = job_hash
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+
+    def release(self) -> None:
+        self.current = None
+        self.deadline = None
+
+    def close(self, kill: bool = False) -> None:
+        try:
+            if kill:
+                self.proc.kill()
+            elif self.proc.is_alive():
+                self.task_queue.put(None)
+            self.proc.join(timeout=2.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=2.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.task_queue.close()
+        except (OSError, AttributeError):
+            pass
+
+
+@dataclass
+class PoolOutcome:
+    """What one :meth:`SupervisedPool.run` call produced."""
+
+    results: Dict[str, Any]
+    failures: Dict[str, JobFailure]
+    retried: int = 0
+
+
+class SupervisedPool:
+    """Run a batch of unique jobs under supervision.
+
+    One-shot: construct, :meth:`run`, done (workers are recycled
+    between batches by construction — a campaign batch is the unit of
+    checkpointing anyway).  ``n_workers`` processes execute jobs;
+    ``job_timeout`` (seconds, None = unbounded) bounds each lease.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        job_timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        self.n_workers = max(1, int(n_workers))
+        self.job_timeout = job_timeout
+        self.policy = policy or RetryPolicy()
+        self.ctx = multiprocessing.get_context()
+
+    def run(self, items: List[Tuple[str, SimJob]]) -> PoolOutcome:
+        jobs = dict(items)
+        outcome = PoolOutcome(results={}, failures={})
+        if not jobs:
+            return outcome
+        result_queue = self.ctx.Queue()
+        workers = [
+            _Worker(self.ctx, result_queue)
+            for _ in range(min(self.n_workers, len(jobs)))
+        ]
+        attempts: Dict[str, int] = {h: 0 for h in jobs}
+        events: Dict[str, List[Dict[str, Any]]] = {h: [] for h in jobs}
+        # (eligible_time, seq, hash) — seq keeps heap order stable.
+        ready: List[Tuple[float, int, str]] = [
+            (0.0, seq, job_hash)
+            for seq, (job_hash, _job) in enumerate(items)
+        ]
+        heapq.heapify(ready)
+        seq_counter = len(ready)
+        remaining = set(jobs)
+
+        def attempt_failed(job_hash: str, reason: str, message: str,
+                           trace: Optional[str] = None) -> None:
+            nonlocal seq_counter
+            if job_hash in outcome.results or job_hash not in remaining:
+                return
+            events[job_hash].append({
+                "attempt": attempts[job_hash],
+                "reason": reason,
+                "message": message,
+            })
+            job = jobs[job_hash]
+            if attempts[job_hash] > self.policy.max_retries:
+                outcome.failures[job_hash] = JobFailure(
+                    job_hash=job_hash,
+                    scheme=job.scheme,
+                    workload=job.workload.kind,
+                    attempts=attempts[job_hash],
+                    reason=reason,
+                    message=message,
+                    traceback=trace,
+                    events=events[job_hash],
+                )
+                remaining.discard(job_hash)
+                return
+            outcome.retried += 1
+            eligible = time.monotonic() + self.policy.delay(
+                job_hash, attempts[job_hash]
+            )
+            seq_counter += 1
+            heapq.heappush(ready, (eligible, seq_counter, job_hash))
+
+        try:
+            while remaining:
+                now = time.monotonic()
+                # -- hand eligible jobs to idle workers ----------------
+                for worker in workers:
+                    if worker.current is not None:
+                        continue
+                    while ready and ready[0][0] <= now:
+                        _, _, job_hash = heapq.heappop(ready)
+                        if (
+                            job_hash in remaining
+                            and job_hash not in outcome.results
+                            and not any(
+                                w.current == job_hash for w in workers
+                            )
+                        ):
+                            attempts[job_hash] += 1
+                            worker.assign(
+                                job_hash, jobs[job_hash], self.job_timeout
+                            )
+                            break
+                    if worker.current is None and not ready:
+                        break
+                # -- wait for a result (bounded poll) ------------------
+                wait = _POLL_S
+                deadlines = [
+                    w.deadline for w in workers if w.deadline is not None
+                ]
+                if deadlines:
+                    wait = min(wait, max(0.01, min(deadlines) - now))
+                if ready:
+                    wait = min(wait, max(0.01, ready[0][0] - now))
+                try:
+                    tag, job_hash, payload, trace = result_queue.get(
+                        timeout=wait
+                    )
+                except queue_mod.Empty:
+                    tag = None
+                if tag is not None:
+                    for worker in workers:
+                        if worker.current == job_hash:
+                            worker.release()
+                            break
+                    if tag == "ok":
+                        if job_hash in remaining:
+                            outcome.results[job_hash] = payload
+                            remaining.discard(job_hash)
+                            outcome.failures.pop(job_hash, None)
+                    else:
+                        attempt_failed(
+                            job_hash, "exception", payload, trace
+                        )
+                # -- reap dead and expired workers ---------------------
+                now = time.monotonic()
+                for index, worker in enumerate(workers):
+                    if worker.current is None:
+                        continue
+                    if not worker.proc.is_alive():
+                        job_hash = worker.current
+                        worker.release()
+                        worker.close(kill=True)
+                        workers[index] = _Worker(self.ctx, result_queue)
+                        attempt_failed(
+                            job_hash, "worker-crash",
+                            "worker process died mid-job "
+                            f"(exit code {worker.proc.exitcode})",
+                        )
+                    elif (
+                        worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        job_hash = worker.current
+                        worker.release()
+                        worker.close(kill=True)
+                        workers[index] = _Worker(self.ctx, result_queue)
+                        attempt_failed(
+                            job_hash, "timeout",
+                            f"lease exceeded {self.job_timeout}s; "
+                            "worker killed",
+                        )
+        finally:
+            for worker in workers:
+                worker.close()
+            try:
+                result_queue.close()
+                result_queue.join_thread()
+            except (OSError, AttributeError):
+                pass
+        return outcome

@@ -15,6 +15,10 @@ def _isolated_sim_cache(tmp_path, monkeypatch):
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sim-cache"))
     monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path / "campaigns"))
+    # Chaos stays opt-in: a fault plan leaked from the environment (or
+    # a prior test forgetting to clean up) must never perturb the
+    # suite.  Tests that want injection set REPRO_FAULT_PLAN itself.
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
 
 
 @pytest.fixture

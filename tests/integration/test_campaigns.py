@@ -164,6 +164,30 @@ class TestResumability:
         run_campaign(spec)  # zero-submission resume
         assert index_path.stat().st_size == size
 
+    def test_cli_verify_audits_exactly_once(self, capsys):
+        """`campaign verify` signs off a completed campaign and flags
+        a store entry that goes missing behind the manifest's back."""
+        from repro.cli import main
+        from repro.engine import ResultCache
+
+        spec = _tiny_spec()
+        run_campaign(spec)
+        spec_file = manifest_path(spec.name).parent / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+
+        assert main([
+            "campaign", "verify", str(spec_file), "--strict",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:     OK" in out
+
+        victim = sorted(plan_campaign(spec).jobs.values(),
+                        key=lambda job: job.job_hash())[0]
+        ResultCache().path_for(victim).unlink()
+        assert main(["campaign", "verify", str(spec_file)]) == 1
+        out = capsys.readouterr().out
+        assert "missing:     1" in out
+
     def test_dry_run_never_simulates(self, monkeypatch):
         def boom(*_a, **_k):
             raise AssertionError("dry run must not execute jobs")

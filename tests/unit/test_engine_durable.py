@@ -1,0 +1,159 @@
+"""Durable JSON records: seals, atomic writes, quarantine.
+
+The write path must guarantee "previous contents or new contents,
+never a torn file"; the read path must turn every corruption mode —
+truncation, bit rot, foreign payloads — into a quarantine + miss, not
+an exception mid-campaign.  The injected torn/corrupt writes exercise
+the exact window the atomic protocol protects.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.durable import (
+    QUARANTINE_DIR,
+    QUARANTINE_LOG,
+    SEAL_KEY,
+    CorruptEntryError,
+    atomic_write_json,
+    is_sealed_ok,
+    payload_checksum,
+    quarantine_file,
+    quarantine_log,
+    read_json_verified,
+    seal,
+)
+from repro.faults import FAULT_PLAN_ENV
+
+
+class TestSeal:
+    def test_seal_roundtrip(self):
+        record = seal({"a": 1, "b": [2, 3]})
+        assert record[SEAL_KEY] == payload_checksum(record)
+        assert is_sealed_ok(record)
+
+    def test_tamper_breaks_the_seal(self):
+        record = seal({"a": 1})
+        record["a"] = 2
+        assert not is_sealed_ok(record)
+
+    def test_legacy_records_without_seal_pass(self):
+        assert is_sealed_ok({"a": 1})
+
+    def test_checksum_ignores_the_seal_field(self):
+        record = {"a": 1}
+        assert payload_checksum(record) == payload_checksum(seal(record))
+
+
+class TestReadVerified:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "entry.json"
+        atomic_write_json(path, seal({"x": 41}))
+        assert read_json_verified(path)["x"] == 41
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_json_verified(tmp_path / "absent.json")
+
+    @pytest.mark.parametrize("text", [
+        "",                       # empty
+        '{"a": 1',                # truncated JSON
+        "[1, 2, 3]",              # non-object
+        "not json at all",
+    ])
+    def test_unparsable_content_is_corrupt(self, tmp_path, text):
+        path = tmp_path / "entry.json"
+        path.write_text(text)
+        with pytest.raises(CorruptEntryError):
+            read_json_verified(path)
+
+    def test_failed_seal_is_corrupt(self, tmp_path):
+        path = tmp_path / "entry.json"
+        record = seal({"x": 1})
+        record["x"] = 2
+        path.write_text(json.dumps(record))
+        with pytest.raises(CorruptEntryError):
+            read_json_verified(path)
+
+
+class TestAtomicWrite:
+    def test_overwrites_atomically_leaving_no_temp(self, tmp_path):
+        path = tmp_path / "entry.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text())["v"] == 2
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_injected_torn_write_truncates_final_path(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({
+            "faults": [{"site": "test.write", "kind": "torn",
+                        "times": 1}],
+        }))
+        path = tmp_path / "entry.json"
+        atomic_write_json(path, seal({"x": 1}), fault_site="test.write")
+        with pytest.raises(CorruptEntryError):
+            read_json_verified(path)
+        # budget spent: the next write is clean
+        atomic_write_json(path, seal({"x": 2}), fault_site="test.write")
+        assert read_json_verified(path)["x"] == 2
+
+    def test_injected_corrupt_write_fails_the_seal(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({
+            "faults": [{"site": "test.write", "kind": "corrupt",
+                        "times": 1}],
+        }))
+        path = tmp_path / "entry.json"
+        atomic_write_json(path, seal({"x": 1}), fault_site="test.write")
+        # valid JSON on disk — the seal is what catches it
+        assert isinstance(json.loads(path.read_text()), dict)
+        with pytest.raises(CorruptEntryError):
+            read_json_verified(path)
+
+    def test_unrelated_site_does_not_fire(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({
+            "faults": [{"site": "other.site", "kind": "torn"}],
+        }))
+        path = tmp_path / "entry.json"
+        atomic_write_json(path, seal({"x": 1}), fault_site="test.write")
+        assert read_json_verified(path)["x"] == 1
+
+
+class TestQuarantine:
+    def test_move_and_log(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("garbage")
+        target = quarantine_file(path, "torn by test")
+        assert not path.exists()
+        assert target == tmp_path / QUARANTINE_DIR / "bad.json"
+        assert target.read_text() == "garbage"
+        records = quarantine_log(tmp_path)
+        assert len(records) == 1
+        assert records[0]["file"] == "bad.json"
+        assert records[0]["reason"] == "torn by test"
+
+    def test_name_collisions_get_suffixes(self, tmp_path):
+        for content in ("one", "two"):
+            path = tmp_path / "bad.json"
+            path.write_text(content)
+            quarantine_file(path, "again")
+        names = sorted(
+            p.name for p in (tmp_path / QUARANTINE_DIR).iterdir()
+            if p.name != QUARANTINE_LOG
+        )
+        assert names == ["bad.json", "bad.json.1"]
+
+    def test_explicit_root_pools_quarantine(self, tmp_path):
+        shard = tmp_path / "ab"
+        shard.mkdir()
+        path = shard / "bad.json"
+        path.write_text("x")
+        target = quarantine_file(path, "why", root=tmp_path)
+        assert target.parent == tmp_path / QUARANTINE_DIR
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert quarantine_file(tmp_path / "absent.json", "?") is None
