@@ -48,6 +48,7 @@ per-experiment provenance (``experiments`` field), so
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import threading
@@ -63,6 +64,8 @@ from repro.engine.durable import atomic_write_json, quarantine_file
 from repro.engine.executor import DEFAULT_MAX_RETRIES, run_jobs
 
 MANIFEST_NAME = "manifest.json"
+
+log = logging.getLogger("repro.campaigns.executor")
 
 #: Previous good manifest, kept one rotation deep for torn-write
 #: recovery.
@@ -424,12 +427,25 @@ def run_campaign(
     stay skipped on resume until ``retry_quarantined=True`` clears
     them for another try.
     """
+    from repro import telemetry
+
     plan = plan_campaign(spec, scale=scale)
     manifest = CampaignManifest.for_plan(
         manifest_path(spec.name, directory), plan
     )
     stats = CampaignRunStats(total_points=plan.total_points)
     cache = ResultCache(cache_dir) if use_cache else None
+    tel = telemetry.get()
+    if tel is not None:
+        tel.set_role("campaign")
+        tel.event(
+            "campaign.start", campaign=spec.name,
+            total_points=plan.total_points, n_jobs=n_jobs,
+        )
+    log.info(
+        "campaign %s: %d point(s), n_jobs=%d, batch_size=%d",
+        spec.name, plan.total_points, n_jobs, batch_size,
+    )
 
     if retry_quarantined:
         cleared = manifest.clear_quarantine()
@@ -451,15 +467,23 @@ def run_campaign(
             while True:
                 for start in range(0, len(pending), batch_size):
                     batch = pending[start:start + batch_size]
-                    run_jobs(
-                        [plan.jobs[job_hash] for job_hash in batch],
-                        n_jobs=n_jobs,
-                        use_cache=use_cache,
-                        cache_dir=cache_dir,
-                        max_retries=max_retries,
-                        job_timeout=job_timeout,
-                        on_failure="skip",
+                    span = (
+                        tel.span(
+                            "campaign.batch", campaign=spec.name,
+                            batch=stats.batches + 1, points=len(batch),
+                        )
+                        if tel is not None else telemetry.NOOP_SPAN
                     )
+                    with span:
+                        run_jobs(
+                            [plan.jobs[job_hash] for job_hash in batch],
+                            n_jobs=n_jobs,
+                            use_cache=use_cache,
+                            cache_dir=cache_dir,
+                            max_retries=max_retries,
+                            job_timeout=job_timeout,
+                            on_failure="skip",
+                        )
                     batch_stats = run_jobs.last_stats
                     failed = {f.job_hash for f in batch_stats.failures}
                     stats.batches += 1
@@ -473,6 +497,23 @@ def run_campaign(
                     )
                     manifest.mark_quarantined(batch_stats.failures)
                     manifest.save()
+                    log.debug(
+                        "campaign %s batch %d: %d simulated, %d cached, "
+                        "%d quarantined", spec.name, stats.batches,
+                        batch_stats.simulated, batch_stats.cache_hits,
+                        len(failed),
+                    )
+                    if tel is not None:
+                        tel.event(
+                            "campaign.batch.done", campaign=spec.name,
+                            batch=stats.batches,
+                            done=len(manifest.completed),
+                            total=plan.total_points,
+                            simulated=batch_stats.simulated,
+                            cache_hits=batch_stats.cache_hits,
+                            retried=batch_stats.retried,
+                            quarantined=len(failed),
+                        )
                     if progress is not None:
                         done = len(manifest.completed)
                         line = (
@@ -510,6 +551,15 @@ def run_campaign(
                 stats.audited_bad += len(bad)
                 manifest.unmark_completed(bad)
                 manifest.save()
+                log.warning(
+                    "campaign %s store audit round %d: %d bad entr(ies)",
+                    spec.name, audit_rounds, len(bad),
+                )
+                if tel is not None:
+                    tel.event(
+                        "campaign.audit", campaign=spec.name,
+                        round=audit_rounds, bad=len(bad),
+                    )
                 if progress is not None:
                     progress(
                         f"[{plan.spec.name}] store audit: {len(bad)} "
@@ -527,6 +577,18 @@ def run_campaign(
         manifest.record_run(stats)
         manifest.refresh_status()
         manifest.save()
+        log.info(
+            "campaign %s: %s (%d simulated, %d cached, %d quarantined)",
+            spec.name, manifest.status, stats.simulated,
+            stats.cache_hits, stats.quarantined,
+        )
+        if tel is not None:
+            tel.event(
+                "campaign.done", campaign=spec.name,
+                status=manifest.status, simulated=stats.simulated,
+                cache_hits=stats.cache_hits, retried=stats.retried,
+                quarantined=stats.quarantined, drained=stats.drained,
+            )
 
     # Annotate only when this run did work: a zero-submission resume
     # (status checks, the CI resume-noop step) must not append another

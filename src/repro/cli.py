@@ -33,6 +33,13 @@ profile             cProfile one workload x scheme simulation
 traces <cmd>        Trace foundry: ingest external traces, synthesize
                     stress families, characterize ACT streams
                     (docs/WORKLOADS.md).
+trace <cmd>         Telemetry consumers: export a run's merged event
+                    timeline (``--format perfetto`` loads in the
+                    Perfetto UI / chrome://tracing), or summarize it
+                    (docs/OBSERVABILITY.md).
+
+``--log-level {debug,info,warning,error}`` (or ``REPRO_LOG``) turns on
+stdlib logging; ``campaign status --follow`` tails live progress.
 """
 
 from __future__ import annotations
@@ -40,7 +47,10 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import logging
+import os
 import sys
+from pathlib import Path
 
 from repro.core.config import configuration_curve
 from repro.experiments.runner import EXPERIMENTS
@@ -51,6 +61,31 @@ from repro.verify.adversary import (
     round_robin_stream,
 )
 from repro.verify.safety import run_safety_trace
+
+
+#: Environment fallback for ``--log-level``.
+LOG_ENV = "REPRO_LOG"
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _configure_logging(level: str) -> None:
+    """Wire stdlib logging for the ``repro`` tree.
+
+    ``--log-level`` wins; falls back to ``REPRO_LOG``; default is
+    logging off (a bare WARNING handler would still print supervisor
+    worker-kill warnings mid-campaign, which existing CLI output
+    already covers).
+    """
+    chosen = level or os.environ.get(LOG_ENV, "")
+    chosen = chosen.strip().lower()
+    if chosen not in _LOG_LEVELS:
+        return
+    logging.basicConfig(
+        level=getattr(logging, chosen.upper()),
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -424,6 +459,88 @@ def _cmd_campaign_run(args) -> int:
     return 0
 
 
+def _telemetry_dir_arg(args):
+    """The telemetry dir to read: ``--telemetry-dir`` else the env."""
+    from repro.telemetry import TELEMETRY_ENV
+
+    explicit = getattr(args, "telemetry_dir", None)
+    if explicit:
+        return explicit
+    return os.environ.get(TELEMETRY_ENV) or None
+
+
+def _cmd_trace_export(args) -> int:
+    from repro.telemetry import (
+        event_files,
+        merge_events,
+        validate_perfetto,
+        write_perfetto,
+    )
+    from repro.telemetry.perfetto import export_perfetto
+
+    directory = _telemetry_dir_arg(args)
+    if not directory:
+        print("no telemetry directory: pass --telemetry-dir or set "
+              "REPRO_TELEMETRY")
+        return 1
+    if not event_files(directory):
+        print(f"no event streams under {directory}")
+        return 1
+    if args.format == "merged":
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for record in merge_events(directory)
+        ]
+        if args.output:
+            Path(args.output).write_text("\n".join(lines) + "\n")
+            print(f"wrote {len(lines)} merged event(s) to {args.output}")
+        else:
+            for line in lines:
+                print(line)
+        return 0
+    if args.output:
+        count = write_perfetto(directory, args.output)
+        problems = validate_perfetto(
+            json.loads(Path(args.output).read_text())
+        )
+        if problems:
+            print(f"export failed validation ({len(problems)} problem(s)):")
+            for problem in problems[:10]:
+                print(f"  {problem}")
+            return 1
+        print(f"wrote {count} trace event(s) to {args.output}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+    payload = export_perfetto(directory)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    from repro.telemetry import merge_events, summarize_events
+
+    directory = _telemetry_dir_arg(args)
+    if not directory:
+        print("no telemetry directory: pass --telemetry-dir or set "
+              "REPRO_TELEMETRY")
+        return 1
+    summary = summarize_events(merge_events(directory))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"events:     {summary['total']}")
+    print(f"processes:  {len(summary['processes'])}")
+    for kind, count in sorted(summary["kinds"].items()):
+        print(f"  {kind:<24} {count}")
+    if summary["span_seconds"]:
+        print("span seconds:")
+        for name, seconds in sorted(
+            summary["span_seconds"].items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {name:<24} {seconds:.3f}")
+    return 0
+
+
 def _cmd_campaign_status(args) -> int:
     from repro.campaigns import (
         CampaignError,
@@ -437,6 +554,17 @@ def _cmd_campaign_status(args) -> int:
     except CampaignError as error:
         print(error)
         return 1
+    if getattr(args, "follow", False):
+        from repro.telemetry.progress import follow_campaign
+
+        snap = follow_campaign(
+            spec.name,
+            directory=args.dir,
+            telemetry_dir=_telemetry_dir_arg(args),
+            interval=args.interval,
+            ticks=args.ticks,
+        )
+        return 0 if snap and snap.get("remaining") == 0 else 1
     manifest = CampaignManifest.load(manifest_path(spec.name, args.dir))
     if manifest is None:
         print(f"campaign {spec.name!r} has never run "
@@ -784,6 +912,11 @@ def main(argv=None) -> int:
         prog="repro",
         description="Mithril (HPCA 2022) reproduction toolkit",
     )
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVELS, default=None,
+        help="enable stdlib logging at this level "
+             f"(or set {LOG_ENV}; default: off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(
@@ -909,6 +1042,24 @@ def main(argv=None) -> int:
     )
     _campaign_common(c_status)
     c_status.add_argument("--json", action="store_true")
+    c_status.add_argument(
+        "--follow", action="store_true",
+        help="poll progress live (done/inflight/retried/quarantined, "
+             "EMA throughput, ETA) until the campaign settles",
+    )
+    c_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="--follow poll interval in seconds (default 2)",
+    )
+    c_status.add_argument(
+        "--ticks", type=int, default=None,
+        help="stop --follow after N polls (default: until settled)",
+    )
+    c_status.add_argument(
+        "--telemetry-dir", default=None,
+        help="telemetry dir for inflight/retried counts "
+             "(default: REPRO_TELEMETRY)",
+    )
     c_status.set_defaults(func=_cmd_campaign_status)
 
     c_verify = csub.add_parser(
@@ -1052,6 +1203,39 @@ def main(argv=None) -> int:
     t_smoke.add_argument("--scale", type=float, default=0.1)
     t_smoke.set_defaults(func=_cmd_traces_smoke)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="telemetry consumers: export / summarize a run timeline",
+    )
+    trsub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    tr_export = trsub.add_parser(
+        "export",
+        help="merge event streams and export the run timeline",
+    )
+    tr_export.add_argument(
+        "--format", choices=("perfetto", "merged"), default="perfetto",
+        help="perfetto: Chrome trace-event JSON (Perfetto UI / "
+             "chrome://tracing); merged: ordered newline-JSON",
+    )
+    tr_export.add_argument(
+        "--telemetry-dir", default=None,
+        help="telemetry dir to read (default: REPRO_TELEMETRY)",
+    )
+    tr_export.add_argument(
+        "--output", default=None,
+        help="write to this file instead of stdout",
+    )
+    tr_export.set_defaults(func=_cmd_trace_export)
+
+    tr_summary = trsub.add_parser(
+        "summary", help="per-kind counts and span totals of a run"
+    )
+    tr_summary.add_argument("--telemetry-dir", default=None,
+                            help="default: REPRO_TELEMETRY")
+    tr_summary.add_argument("--json", action="store_true")
+    tr_summary.set_defaults(func=_cmd_trace_summary)
+
     p_safe = sub.add_parser("safety", help="replay an attack")
     p_safe.add_argument("scheme", choices=scheme_names())
     p_safe.add_argument("--attack", choices=sorted(_ATTACKS),
@@ -1062,6 +1246,7 @@ def main(argv=None) -> int:
     p_safe.set_defaults(func=_cmd_safety)
 
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -128,12 +128,21 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
 
 
 class ResultCache:
-    """Get/put completed :class:`SimulationResult`s by job."""
+    """Get/put completed :class:`SimulationResult`s by job.
+
+    Each instance keeps running ``hits`` / ``misses`` / ``quarantined``
+    counts across its :meth:`get` calls — the executor surfaces them
+    on ``run_jobs.last_stats`` and the telemetry layer mirrors them as
+    ``cache.hit`` / ``cache.miss`` / ``cache.quarantine`` counters.
+    """
 
     def __init__(self, directory=None):
         self.directory = (
             Path(directory) if directory is not None else default_cache_dir()
         )
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
 
     def version_dir(self, version: Optional[str] = None) -> Path:
         return self.directory / (version or code_version())
@@ -160,6 +169,8 @@ class ResultCache:
         miss — the point re-simulates instead of raising (or serving
         garbage) mid-campaign.
         """
+        from repro import telemetry
+
         for path in (self.path_for(job), self.flat_path_for(job)):
             try:
                 record = self._read_entry(path)
@@ -168,13 +179,20 @@ class ResultCache:
             if record is None:
                 continue
             try:
-                return result_from_dict(record["result"])
+                result = result_from_dict(record["result"])
             except (KeyError, TypeError, ValueError) as error:
                 quarantine_file(
                     path, f"undecodable result payload: {error}",
                     root=self.version_dir(),
                 )
+                self.quarantined += 1
+                telemetry.counter("cache.quarantine")
                 continue
+            self.hits += 1
+            telemetry.counter("cache.hit")
+            return result
+        self.misses += 1
+        telemetry.counter("cache.miss")
         return None
 
     def _read_entry(self, path: Path) -> Optional[Dict[str, Any]]:
@@ -188,7 +206,14 @@ class ResultCache:
         except FileNotFoundError:
             raise
         except CorruptEntryError as error:
+            from repro import telemetry
+
             quarantine_file(path, str(error), root=self.version_dir())
+            self.quarantined += 1
+            telemetry.counter("cache.quarantine")
+            telemetry.event(
+                "cache.quarantine", path=str(path), reason=str(error)
+            )
             return None
 
     def put(self, job: SimJob, result: SimulationResult) -> None:

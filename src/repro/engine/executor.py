@@ -74,11 +74,17 @@ class RunStats:
     total: int = 0        #: jobs requested (including duplicates)
     unique: int = 0       #: distinct job hashes
     cache_hits: int = 0   #: unique jobs served from the on-disk cache
+    cache_misses: int = 0       #: unique jobs the cache could not serve
+    cache_quarantined: int = 0  #: corrupt entries quarantined on lookup
     simulated: int = 0    #: unique jobs successfully executed
     n_jobs: int = 1       #: worker processes used
     retried: int = 0      #: attempts re-queued after a failure
     failed: int = 0       #: unique jobs that exhausted their retries
     failures: List[JobFailure] = field(default_factory=list)
+    #: Wall seconds by phase (``cache_lookup`` / ``execute`` /
+    #: ``cache_put``); where this run's time actually went, so
+    #: bench-speed entries can attribute a speedup to a phase.
+    timing_breakdown: Dict[str, float] = field(default_factory=dict)
 
 
 def materialize_job(job: SimJob):
@@ -122,8 +128,10 @@ def _execute_serial(
     the identical retry machinery; ``hang`` faults genuinely hang —
     lease enforcement needs a worker process (pass a ``job_timeout``).
     """
+    from repro import telemetry
     from repro.faults import maybe_fail
 
+    tel = telemetry.get()
     results: Dict[str, SimulationResult] = {}
     for job_hash, job in missing:
         events = []
@@ -132,7 +140,15 @@ def _execute_serial(
             attempts += 1
             try:
                 maybe_fail("worker.execute", job_hash)
-                results[job_hash] = execute_job(job)
+                span = (
+                    tel.span("job.execute", job=job_hash,
+                             scheme=job.scheme, attempt=attempts)
+                    if tel is not None else telemetry.NOOP_SPAN
+                )
+                with span:
+                    results[job_hash] = execute_job(job)
+                if tel is not None:
+                    tel.event("job.ok", job=job_hash, attempts=attempts)
                 break
             except Exception as error:  # noqa: BLE001 — recorded below
                 message = f"{type(error).__name__}: {error}"
@@ -141,6 +157,11 @@ def _execute_serial(
                     "reason": "exception",
                     "message": message,
                 })
+                if tel is not None:
+                    tel.event(
+                        "job.error", job=job_hash,
+                        attempt=attempts, message=message,
+                    )
                 if attempts > policy.max_retries:
                     stats.failures.append(JobFailure(
                         job_hash=job_hash,
@@ -152,10 +173,25 @@ def _execute_serial(
                         traceback=traceback.format_exc(),
                         events=events,
                     ))
+                    if tel is not None:
+                        tel.event(
+                            "job.quarantine", job=job_hash,
+                            attempts=attempts, reason="exception",
+                        )
                     break
                 stats.retried += 1
                 delay = policy.delay(job_hash, attempts)
+                if tel is not None:
+                    tel.event(
+                        "job.retry", job=job_hash,
+                        attempt=attempts, delay=round(delay, 6),
+                    )
                 if delay > 0.0:
+                    if tel is not None:
+                        tel.synthetic_span(
+                            "retry.backoff", time.time(), delay,
+                            job=job_hash, attempt=attempts,
+                        )
                     time.sleep(delay)
     return results
 
@@ -193,10 +229,13 @@ def run_jobs(
         raise ValueError(
             f"on_failure must be 'raise' or 'skip', got {on_failure!r}"
         )
+    from repro import telemetry
+
     job_list = list(jobs)
     n_jobs = max(1, int(n_jobs))
     policy = retry_policy or RetryPolicy(max_retries=max_retries)
     stats = RunStats(total=len(job_list), n_jobs=n_jobs)
+    tel = telemetry.get()
 
     order: List[str] = []
     unique: Dict[str, SimJob] = {}
@@ -211,12 +250,21 @@ def run_jobs(
     cache: Optional[ResultCache] = (
         ResultCache(cache_dir) if use_cache else None
     )
+    t0 = time.perf_counter()
     if cache is not None:
-        for job_hash, job in unique.items():
-            hit = cache.get(job)
-            if hit is not None:
-                results[job_hash] = hit
-        stats.cache_hits = len(results)
+        span = (
+            tel.span("run_jobs.cache_lookup", unique=stats.unique)
+            if tel is not None else telemetry.NOOP_SPAN
+        )
+        with span:
+            for job_hash, job in unique.items():
+                hit = cache.get(job)
+                if hit is not None:
+                    results[job_hash] = hit
+        stats.cache_hits = cache.hits
+        stats.cache_misses = cache.misses
+        stats.cache_quarantined = cache.quarantined
+    stats.timing_breakdown["cache_lookup"] = time.perf_counter() - t0
 
     missing = [
         (job_hash, job)
@@ -227,37 +275,69 @@ def run_jobs(
         workers = min(n_jobs, len(missing))
         supervised = workers > 1 or job_timeout is not None
         executed: Dict[str, SimulationResult] = {}
-        if supervised:
-            pool = SupervisedPool(
-                workers, job_timeout=job_timeout, policy=policy
+        t0 = time.perf_counter()
+        span = (
+            tel.span(
+                "run_jobs.execute", missing=len(missing),
+                workers=workers, supervised=supervised,
             )
-            try:
-                outcome = pool.run(missing)
-            except OSError as error:
-                warnings.warn(
-                    f"worker pool unavailable ({error}); "
-                    "falling back to serial execution",
-                    RuntimeWarning,
-                    stacklevel=2,
+            if tel is not None else telemetry.NOOP_SPAN
+        )
+        with span:
+            if supervised:
+                pool = SupervisedPool(
+                    workers, job_timeout=job_timeout, policy=policy
                 )
-                executed = _execute_serial(missing, policy, stats)
+                try:
+                    outcome = pool.run(missing)
+                except OSError as error:
+                    warnings.warn(
+                        f"worker pool unavailable ({error}); "
+                        "falling back to serial execution",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    executed = _execute_serial(missing, policy, stats)
+                else:
+                    executed = outcome.results
+                    stats.retried += outcome.retried
+                    stats.failures.extend(
+                        outcome.failures[h] for h in sorted(outcome.failures)
+                    )
+                    if outcome.queue_wait_s:
+                        stats.timing_breakdown["queue_wait"] = round(
+                            outcome.queue_wait_s, 6
+                        )
             else:
-                executed = outcome.results
-                stats.retried += outcome.retried
-                stats.failures.extend(
-                    outcome.failures[h] for h in sorted(outcome.failures)
-                )
-        else:
-            executed = _execute_serial(missing, policy, stats)
+                executed = _execute_serial(missing, policy, stats)
+        stats.timing_breakdown["execute"] = time.perf_counter() - t0
         results.update(executed)
         stats.simulated = len(executed)
         stats.failed = len(stats.failures)
+        t0 = time.perf_counter()
         if cache is not None:
-            for job_hash, _job in missing:
-                if job_hash in executed:
-                    cache.put(unique[job_hash], executed[job_hash])
+            span = (
+                tel.span("run_jobs.cache_put", entries=len(executed))
+                if tel is not None else telemetry.NOOP_SPAN
+            )
+            with span:
+                for job_hash, _job in missing:
+                    if job_hash in executed:
+                        cache.put(unique[job_hash], executed[job_hash])
+        stats.timing_breakdown["cache_put"] = time.perf_counter() - t0
+    stats.timing_breakdown = {
+        k: round(v, 6) for k, v in stats.timing_breakdown.items()
+    }
 
     run_jobs.last_stats = stats
+    if tel is not None:
+        tel.event(
+            "run_jobs.done",
+            total=stats.total, unique=stats.unique,
+            cache_hits=stats.cache_hits, simulated=stats.simulated,
+            retried=stats.retried, failed=stats.failed,
+            timing=stats.timing_breakdown,
+        )
     if stats.failures and on_failure == "raise":
         raise JobExecutionError(stats.failures)
     return [results.get(job_hash) for job_hash in order]

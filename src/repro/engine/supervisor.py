@@ -30,6 +30,7 @@ is how the tests provoke every path above deterministically.
 from __future__ import annotations
 
 import heapq
+import logging
 import multiprocessing
 import queue as queue_mod
 import time
@@ -42,6 +43,11 @@ from repro.engine.job import SimJob
 #: Poll ceiling of the supervisor loop (also the detection latency for
 #: a worker that died without posting a result).
 _POLL_S = 0.25
+
+#: Interval between supervisor heartbeat events (telemetry on only).
+_HEARTBEAT_S = 1.0
+
+log = logging.getLogger("repro.engine.supervisor")
 
 
 @dataclass
@@ -107,10 +113,15 @@ class JobFailure:
 
 def _worker_main(task_queue, result_queue) -> None:
     """Worker loop: one job per lease, structured error capture."""
-    from repro import faults
+    from repro import faults, telemetry
     from repro.engine.executor import execute_job
 
     faults.IN_WORKER = True
+    # telemetry.get() re-checks the pid, so the forked child opens its
+    # own events-<pid>.jsonl instead of appending to the parent's.
+    tel = telemetry.get()
+    if tel is not None:
+        tel.set_role("worker")
     while True:
         item = task_queue.get()
         if item is None:
@@ -118,21 +129,33 @@ def _worker_main(task_queue, result_queue) -> None:
         job_hash, job = item
         try:
             faults.maybe_fail("worker.execute", job_hash)
-            result = execute_job(job)
+            span = (
+                tel.span("job.execute", job=job_hash, scheme=job.scheme)
+                if tel is not None else telemetry.NOOP_SPAN
+            )
+            with span:
+                result = execute_job(job)
         except BaseException as error:  # noqa: BLE001 — reported, not hidden
+            if tel is not None:
+                tel.event(
+                    "job.error", job=job_hash,
+                    message=f"{type(error).__name__}: {error}",
+                )
             result_queue.put((
                 "err", job_hash,
                 f"{type(error).__name__}: {error}",
                 traceback.format_exc(),
             ))
         else:
+            if tel is not None:
+                tel.event("job.ok", job=job_hash)
             result_queue.put(("ok", job_hash, result, None))
 
 
 class _Worker:
     """One supervised worker process and its lease state."""
 
-    __slots__ = ("proc", "task_queue", "current", "deadline")
+    __slots__ = ("proc", "task_queue", "current", "deadline", "lease_wall")
 
     def __init__(self, ctx, result_queue):
         self.task_queue = ctx.SimpleQueue()
@@ -144,6 +167,7 @@ class _Worker:
         self.proc.start()
         self.current: Optional[str] = None
         self.deadline: Optional[float] = None
+        self.lease_wall: Optional[float] = None
 
     def assign(self, job_hash: str, job: SimJob,
                timeout: Optional[float]) -> None:
@@ -152,10 +176,12 @@ class _Worker:
         self.deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
+        self.lease_wall = time.time()
 
     def release(self) -> None:
         self.current = None
         self.deadline = None
+        self.lease_wall = None
 
     def close(self, kill: bool = False) -> None:
         try:
@@ -182,6 +208,10 @@ class PoolOutcome:
     results: Dict[str, Any]
     failures: Dict[str, JobFailure]
     retried: int = 0
+    #: Summed seconds jobs spent eligible-but-unassigned (worker
+    #: contention, not backoff) — the executor folds this into
+    #: ``RunStats.timing_breakdown["queue_wait"]``.
+    queue_wait_s: float = 0.0
 
 
 class SupervisedPool:
@@ -205,17 +235,33 @@ class SupervisedPool:
         self.ctx = multiprocessing.get_context()
 
     def run(self, items: List[Tuple[str, SimJob]]) -> PoolOutcome:
+        from repro import telemetry
+
         jobs = dict(items)
         outcome = PoolOutcome(results={}, failures={})
         if not jobs:
             return outcome
+        tel = telemetry.get()
+        if tel is not None:
+            tel.set_role("supervisor")
         result_queue = self.ctx.Queue()
         workers = [
             _Worker(self.ctx, result_queue)
             for _ in range(min(self.n_workers, len(jobs)))
         ]
+        log.info(
+            "pool: %d worker(s) over %d job(s), timeout=%s",
+            len(workers), len(jobs), self.job_timeout,
+        )
+        if tel is not None:
+            for worker in workers:
+                tel.event("worker.spawn", worker=worker.proc.pid)
         attempts: Dict[str, int] = {h: 0 for h in jobs}
         events: Dict[str, List[Dict[str, Any]]] = {h: [] for h in jobs}
+        start_mono = time.monotonic()
+        # Monotonic instant each job (re-)became eligible, for the
+        # queue-wait accounting (eligible-but-unassigned time).
+        queued_at: Dict[str, float] = {h: start_mono for h in jobs}
         # (eligible_time, seq, hash) — seq keeps heap order stable.
         ready: List[Tuple[float, int, str]] = [
             (0.0, seq, job_hash)
@@ -224,6 +270,20 @@ class SupervisedPool:
         heapq.heapify(ready)
         seq_counter = len(ready)
         remaining = set(jobs)
+        last_heartbeat = start_mono
+
+        def lease_closed(worker: "_Worker", result: str) -> None:
+            """Stamp the supervisor-side lease span for a finished (or
+            killed) lease, on the *worker's* track (tid=worker pid) so
+            even a worker that died without writing a byte shows its
+            lease history."""
+            if tel is None or worker.lease_wall is None:
+                return
+            tel.synthetic_span(
+                "lease", worker.lease_wall,
+                time.time() - worker.lease_wall,
+                tid=worker.proc.pid, job=worker.current, result=result,
+            )
 
         def attempt_failed(job_hash: str, reason: str, message: str,
                            trace: Optional[str] = None) -> None:
@@ -237,6 +297,15 @@ class SupervisedPool:
             })
             job = jobs[job_hash]
             if attempts[job_hash] > self.policy.max_retries:
+                log.info(
+                    "quarantine %s after %d attempt(s): %s",
+                    job_hash[:12], attempts[job_hash], reason,
+                )
+                if tel is not None:
+                    tel.event(
+                        "job.quarantine", job=job_hash,
+                        attempts=attempts[job_hash], reason=reason,
+                    )
                 outcome.failures[job_hash] = JobFailure(
                     job_hash=job_hash,
                     scheme=job.scheme,
@@ -250,9 +319,27 @@ class SupervisedPool:
                 remaining.discard(job_hash)
                 return
             outcome.retried += 1
-            eligible = time.monotonic() + self.policy.delay(
-                job_hash, attempts[job_hash]
+            delay = self.policy.delay(job_hash, attempts[job_hash])
+            log.debug(
+                "retry %s attempt=%d reason=%s backoff=%.3fs",
+                job_hash[:12], attempts[job_hash], reason, delay,
             )
+            if tel is not None:
+                tel.event(
+                    "job.retry", job=job_hash,
+                    attempt=attempts[job_hash], reason=reason,
+                    delay=round(delay, 6),
+                )
+                if delay > 0.0:
+                    # The backoff window as a span: visible dead-time
+                    # between the failed attempt and the re-lease.
+                    tel.synthetic_span(
+                        "retry.backoff", time.time(), delay,
+                        job=job_hash, attempt=attempts[job_hash],
+                        reason=reason,
+                    )
+            eligible = time.monotonic() + delay
+            queued_at[job_hash] = eligible
             seq_counter += 1
             heapq.heappush(ready, (eligible, seq_counter, job_hash))
 
@@ -273,9 +360,18 @@ class SupervisedPool:
                             )
                         ):
                             attempts[job_hash] += 1
+                            outcome.queue_wait_s += max(
+                                0.0, now - queued_at.get(job_hash, now)
+                            )
                             worker.assign(
                                 job_hash, jobs[job_hash], self.job_timeout
                             )
+                            if tel is not None:
+                                tel.event(
+                                    "lease.assign", job=job_hash,
+                                    tid=worker.proc.pid,
+                                    attempt=attempts[job_hash],
+                                )
                             break
                     if worker.current is None and not ready:
                         break
@@ -297,6 +393,7 @@ class SupervisedPool:
                 if tag is not None:
                     for worker in workers:
                         if worker.current == job_hash:
+                            lease_closed(worker, tag)
                             worker.release()
                             break
                     if tag == "ok":
@@ -308,16 +405,44 @@ class SupervisedPool:
                         attempt_failed(
                             job_hash, "exception", payload, trace
                         )
-                # -- reap dead and expired workers ---------------------
+                # -- heartbeat (telemetry only) ------------------------
                 now = time.monotonic()
+                if tel is not None and now - last_heartbeat >= _HEARTBEAT_S:
+                    last_heartbeat = now
+                    tel.event(
+                        "heartbeat",
+                        remaining=len(remaining),
+                        inflight=sum(
+                            1 for w in workers if w.current is not None
+                        ),
+                        queued=len(ready),
+                    )
+                # -- reap dead and expired workers ---------------------
                 for index, worker in enumerate(workers):
                     if worker.current is None:
                         continue
                     if not worker.proc.is_alive():
                         job_hash = worker.current
+                        log.warning(
+                            "worker %s died mid-job (exit %s), job %s",
+                            worker.proc.pid, worker.proc.exitcode,
+                            job_hash[:12],
+                        )
+                        lease_closed(worker, "crash")
                         worker.release()
                         worker.close(kill=True)
                         workers[index] = _Worker(self.ctx, result_queue)
+                        if tel is not None:
+                            tel.event(
+                                "worker.crash", tid=worker.proc.pid,
+                                job=job_hash,
+                                exit_code=worker.proc.exitcode,
+                            )
+                            tel.event(
+                                "worker.spawn",
+                                worker=workers[index].proc.pid,
+                                replaces=worker.proc.pid,
+                            )
                         attempt_failed(
                             job_hash, "worker-crash",
                             "worker process died mid-job "
@@ -328,9 +453,25 @@ class SupervisedPool:
                         and now >= worker.deadline
                     ):
                         job_hash = worker.current
+                        log.warning(
+                            "lease expired after %ss: killing worker %s "
+                            "(job %s)", self.job_timeout,
+                            worker.proc.pid, job_hash[:12],
+                        )
+                        lease_closed(worker, "timeout")
                         worker.release()
                         worker.close(kill=True)
                         workers[index] = _Worker(self.ctx, result_queue)
+                        if tel is not None:
+                            tel.event(
+                                "timeout.kill", tid=worker.proc.pid,
+                                job=job_hash, timeout=self.job_timeout,
+                            )
+                            tel.event(
+                                "worker.spawn",
+                                worker=workers[index].proc.pid,
+                                replaces=worker.proc.pid,
+                            )
                         attempt_failed(
                             job_hash, "timeout",
                             f"lease exceeded {self.job_timeout}s; "

@@ -118,6 +118,10 @@ class BlockHammerArena:
         if vec_min is None:
             vec_min = int(os.environ.get(VEC_MIN_ENV, DEFAULT_VEC_MIN))
         self._vec_min = vec_min
+        #: epoch-batch flushes applied (scalar and vectorized alike);
+        #: a plain increment, surfaced by the turbo backend's post-run
+        #: telemetry counters event.
+        self.flushes = 0
 
     # ------------------------------------------------------------------
     # probe hashing (one family for all banks)
@@ -225,6 +229,7 @@ class BlockHammerArena:
         exact scalar per-bank sequence: increments first, then the
         bank's rotation and post-rotation estimate.
         """
+        self.flushes += 1
         if len(batch) < self._vec_min:
             observe_one = self.observe_one
             for flat, row, start in batch:
@@ -371,6 +376,8 @@ class CbsArena:
         self.capacity = capacity
         self._rows_buf = np.full((self.banks, capacity), -1, np.int64)
         self._counts_buf = np.full((self.banks, capacity), -1, np.int64)
+        #: stacked-snapshot rebuilds (see :attr:`BlockHammerArena.flushes`).
+        self.syncs = 0
 
     @classmethod
     def for_mithril(cls, schemes: Sequence) -> "CbsArena":
@@ -537,6 +544,7 @@ class CbsArena:
         RFM demotes mutate the summaries behind the arena's back, so a
         version-stamped cache would go stale silently.
         """
+        self.syncs += 1
         rows_buf = self._rows_buf
         counts_buf = self._counts_buf
         rows_buf.fill(-1)
@@ -628,3 +636,12 @@ class TrackerArenas:
             self.cbs.write_back()
         if self.raa is not None:
             self.raa.write_back()
+
+    def counters(self) -> Dict[str, int]:
+        """Cheap always-on activity counts for the telemetry event."""
+        out: Dict[str, int] = {}
+        if self.blockhammer is not None:
+            out["arena.bh_flushes"] = self.blockhammer.flushes
+        if self.cbs is not None:
+            out["arena.cbs_syncs"] = self.cbs.syncs
+        return out

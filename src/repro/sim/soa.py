@@ -47,6 +47,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.workloads.trace import CoreTrace
 
 #: Force streamed decode with this window size (entries) for every
@@ -145,13 +146,22 @@ class StreamedTraceSoA:
         end = start + self.chunk
         if end > self.length:
             end = self.length
-        (self.flats, self.rows, self.columns, self.writes,
-         self.steps) = _decode_span(
-            self._entries, start, end, self._num_banks, self.length
+        # One branch per *chunk* (not per event) when telemetry is off.
+        tel = telemetry.get()
+        span = (
+            tel.span("soa.chunk_fetch", start=start, end=end)
+            if tel is not None else telemetry.NOOP_SPAN
         )
+        with span:
+            (self.flats, self.rows, self.columns, self.writes,
+             self.steps) = _decode_span(
+                self._entries, start, end, self._num_banks, self.length
+            )
         self.chunk_start = start
         self.chunk_end = end
         self.loads += 1
+        if tel is not None:
+            tel.counter("soa.chunk_fetch")
 
     def ensure(self, index: int) -> None:
         """Make the window cover ``index`` (chunk-aligned random access)."""
@@ -256,6 +266,7 @@ def decode_trace(trace: CoreTrace, num_banks: int) -> AnyTraceSoA:
     """Decode (or fetch the cached decode of) one trace."""
     length = len(trace.entries)
     chunk = _chunk_size(length)
+    tel = telemetry.get()
     if chunk is not None and chunk < length:
         # Streamed windows are stateful (one live window per consumer):
         # never shared through the cache.
@@ -263,8 +274,15 @@ def decode_trace(trace: CoreTrace, num_banks: int) -> AnyTraceSoA:
     cache = decode_cache()
     soa = cache.lookup(trace, num_banks)
     if soa is None:
-        soa = TraceSoA(trace, num_banks)
+        span = (
+            tel.span("soa.decode", entries=length)
+            if tel is not None else telemetry.NOOP_SPAN
+        )
+        with span:
+            soa = TraceSoA(trace, num_banks)
         cache.store(trace, num_banks, soa)
+    elif tel is not None:
+        tel.counter("soa.decode.cache_hit")
     return soa
 
 

@@ -513,6 +513,8 @@ def simulate(
     backend: Optional[str] = None,
 ) -> SimulationResult:
     """Build and run one system; the one-call entry point for benches."""
+    from repro import telemetry
+
     system = make_system(
         traces,
         scheme_factory=scheme_factory,
@@ -523,4 +525,14 @@ def simulate(
         track_hammer=track_hammer,
         backend=backend,
     )
-    return system.run(max_cycles=max_cycles)
+    tel = telemetry.get()
+    span = (
+        tel.span(
+            "sim.simulate",
+            backend=type(system).__name__,
+            cores=len(system.cores),
+        )
+        if tel is not None else telemetry.NOOP_SPAN
+    )
+    with span:
+        return system.run(max_cycles=max_cycles)

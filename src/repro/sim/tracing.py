@@ -92,6 +92,30 @@ class CommandTracer:
                 acts = 0
         return cadence
 
+    def summary(self) -> Dict[str, object]:
+        """Drop-accounting view of the log.
+
+        ``total`` counts every command *offered* to the tracer;
+        ``recorded``/``dropped`` split it at the capacity bound, so a
+        truncated log is visible instead of silently passing for a
+        complete one.  ``by_kind`` covers the recorded commands only
+        (keyed by the command kind's name).
+        """
+        return {
+            "total": len(self.commands) + self.dropped,
+            "recorded": len(self.commands),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "truncated": self.dropped > 0,
+            "by_kind": {
+                kind.name: count
+                for kind, count in sorted(
+                    self.counts_by_kind().items(),
+                    key=lambda kv: kv[0].name,
+                )
+            },
+        }
+
     def verify_ordering(self) -> bool:
         """Commands on each bank must be cycle-ordered."""
         last: Dict[int, int] = {}

@@ -484,6 +484,10 @@ class TurboSimulatedSystem(SimulatedSystem):
             self._seq += 1
             heap.append((self._seq << _LOW_BITS) | core.core_id)
         heapq.heapify(heap)
+        # One telemetry branch per run — the drain loops stay untouched.
+        from repro import telemetry
+
+        tel = telemetry.get()
         if self._fused:
             # Pause cyclic GC for the drain: the pool removes nearly
             # all per-event allocation, so generational collections
@@ -494,8 +498,13 @@ class TurboSimulatedSystem(SimulatedSystem):
             was_enabled = gc.isenabled()
             if was_enabled:
                 gc.disable()
+            span = (
+                tel.span("sim.drain", backend="turbo", fused=True)
+                if tel is not None else telemetry.NOOP_SPAN
+            )
             try:
-                self._drain_fused(max_cycles)
+                with span:
+                    self._drain_fused(max_cycles)
             finally:
                 if was_enabled:
                     gc.enable()
@@ -505,7 +514,22 @@ class TurboSimulatedSystem(SimulatedSystem):
                     # leaves on the per-bank objects.
                     self._arenas.write_back()
         else:
-            self._drain_generic(max_cycles)
+            span = (
+                tel.span("sim.drain", backend="turbo", fused=False)
+                if tel is not None else telemetry.NOOP_SPAN
+            )
+            with span:
+                self._drain_generic(max_cycles)
+        if tel is not None:
+            counts = dict(
+                self._arenas.counters() if self._arenas is not None else {}
+            )
+            counts["soa.window_loads"] = sum(
+                getattr(soa, "loads", 0) for soa in self._soa
+            )
+            for name, value in counts.items():
+                tel.counter(name, value)
+            tel.event("sim.run.done", backend="turbo", **counts)
         return self._collect()
 
     def _drain_generic(self, max_cycles: Optional[int]) -> None:

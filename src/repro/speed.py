@@ -131,9 +131,14 @@ def run_preset(preset: str, backend: Optional[str] = None) -> List[SpeedRow]:
         raise ValueError(
             f"unknown preset {preset!r}; use one of {preset_names()}"
         )
+    from repro import telemetry
     from repro.engine.executor import materialize_job
     from repro.sim.system import simulate
 
+    tel = telemetry.get()
+    timers_before = (
+        dict(tel.registry.timers) if tel is not None else {}
+    )
     rows = []
     for job in _bench_jobs(preset):
         traces, factory, config, rfm_th = materialize_job(job)
@@ -158,7 +163,22 @@ def run_preset(preset: str, backend: Optional[str] = None) -> List[SpeedRow]:
                 wall_s=wall,
             )
         )
+    # Per-phase attribution (span-name -> seconds spent during this
+    # preset), published like ``run_jobs.last_stats``: empty unless
+    # REPRO_TELEMETRY is on, so the disabled bench path is unchanged.
+    run_preset.last_timing = {
+        name: round(total - timers_before.get(name, 0.0), 6)
+        for name, total in (
+            tel.registry.timers.items() if tel is not None else ()
+        )
+        if total - timers_before.get(name, 0.0) > 0.0
+    }
     return rows
+
+
+#: Span-second deltas of the most recent :func:`run_preset` call
+#: (empty when telemetry is off).
+run_preset.last_timing = {}
 
 
 def make_entry(
@@ -184,6 +204,12 @@ def make_entry(
     }
     if backend is not None:
         entry["backend"] = backend
+    # Where the time went (telemetry span totals), so a speedup entry
+    # records *which phase* it came from, not just the aggregate wall
+    # clock.  getattr: tests monkeypatch run_preset with bare stubs.
+    timing = getattr(run_preset, "last_timing", None)
+    if timing:
+        entry["timing_breakdown"] = dict(timing)
     return entry
 
 

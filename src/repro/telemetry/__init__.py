@@ -1,0 +1,50 @@
+"""Structured telemetry: spans, metrics, event streams, exporters.
+
+Off unless ``REPRO_TELEMETRY=<dir>`` is set; see docs/OBSERVABILITY.md.
+:mod:`repro.telemetry.progress` is intentionally not imported here —
+it reaches back into :mod:`repro.campaigns` and would create a cycle;
+consumers import it directly.
+"""
+
+from .core import (
+    NOOP_SPAN,
+    RING_CAPACITY,
+    TELEMETRY_ENV,
+    MetricsRegistry,
+    Telemetry,
+    counter,
+    enabled,
+    event,
+    get,
+    reset,
+    span,
+)
+from .events import event_files, merge_events, read_events, summarize_events
+from .perfetto import (
+    export_perfetto,
+    to_trace_events,
+    validate_perfetto,
+    write_perfetto,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "RING_CAPACITY",
+    "TELEMETRY_ENV",
+    "MetricsRegistry",
+    "Telemetry",
+    "counter",
+    "enabled",
+    "event",
+    "event_files",
+    "export_perfetto",
+    "get",
+    "merge_events",
+    "read_events",
+    "reset",
+    "span",
+    "summarize_events",
+    "to_trace_events",
+    "validate_perfetto",
+    "write_perfetto",
+]

@@ -1,0 +1,90 @@
+"""Merging per-process event streams into one run timeline.
+
+Each process that had telemetry enabled appended newline-JSON records
+to its own ``events-<pid>.jsonl`` under the telemetry directory.  The
+merger reads every stream, drops lines that do not parse (a process
+that died mid-``write()`` can tear at most the trailing line of its
+file — same failure model the durable store's ``index.jsonl`` append
+path tolerates), and orders the survivors by ``(ts, pid, seq)``.
+``pid`` and ``seq`` break wall-clock ties deterministically, so two
+merges of the same directory always agree line for line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+from .core import EVENTS_GLOB
+
+
+def event_files(directory: Path) -> List[Path]:
+    """The per-process stream files under ``directory``, sorted."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(EVENTS_GLOB))
+
+
+def read_events(path: Path) -> Iterator[Dict[str, Any]]:
+    """Yield parsable records from one stream, skipping torn lines.
+
+    Any line that fails to parse as a JSON object is dropped rather
+    than raised: the only way a well-behaved writer produces one is a
+    crash mid-append, and losing that final partial record is exactly
+    the torn-write tolerance the format promises.
+    """
+    try:
+        with Path(path).open("r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+    except OSError:
+        return
+
+
+def _merge_key(record: Dict[str, Any]) -> Tuple[float, int, int]:
+    return (
+        float(record.get("ts", 0.0)),
+        int(record.get("pid", 0)),
+        int(record.get("seq", 0)),
+    )
+
+
+def merge_events(directory: Path) -> List[Dict[str, Any]]:
+    """One deterministic run timeline from all streams in ``directory``."""
+    merged: List[Dict[str, Any]] = []
+    for path in event_files(directory):
+        merged.extend(read_events(path))
+    merged.sort(key=_merge_key)
+    return merged
+
+
+def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a merged timeline: per-kind counts, span totals, pids."""
+    kinds: Dict[str, int] = {}
+    span_totals: Dict[str, float] = {}
+    pids = set()
+    for record in events:
+        kind = str(record.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+        pids.add(record.get("pid"))
+        if kind == "span":
+            name = str(record.get("name", "?"))
+            span_totals[name] = (
+                span_totals.get(name, 0.0) + float(record.get("dur", 0.0))
+            )
+    return {
+        "total": len(events),
+        "kinds": kinds,
+        "span_seconds": {k: round(v, 6) for k, v in span_totals.items()},
+        "processes": sorted(p for p in pids if p is not None),
+    }

@@ -1,0 +1,147 @@
+"""Chrome trace-event export of a merged telemetry timeline.
+
+The output is the JSON object format both ``chrome://tracing`` and
+Perfetto's trace viewer load directly: ``{"traceEvents": [...]}`` with
+
+* ``M`` (metadata) events naming each process track from its
+  ``process.start`` role stamp (``supervisor``, ``worker``,
+  ``campaign``);
+* ``X`` (complete) events for spans — microsecond ``ts``/``dur``,
+  ``pid`` from the writing process, ``tid`` defaulting to the pid but
+  overridable per event (the supervisor writes lease spans with
+  ``tid=<worker pid>`` so a worker that crashed before writing
+  anything still gets its lease history on its own track);
+* ``i`` (instant) events for every non-span moment — worker crashes,
+  respawns, quarantines — so the timeline shows *why* a gap exists.
+
+Timestamps are wall-clock seconds rebased to the earliest event so the
+trace starts near zero regardless of when the run happened.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from .events import merge_events
+
+_US = 1_000_000.0
+
+
+def to_trace_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Convert a merged timeline to Chrome trace-event dicts."""
+    if not events:
+        return []
+    # Spans carry their wall-clock begin in "start" (the append "ts"
+    # is the span *end*), so the rebase origin must consider both or
+    # the earliest span would land at negative microseconds.
+    base = min(
+        float(e.get("start", e.get("ts", 0.0)))
+        if e.get("kind") == "span" else float(e.get("ts", 0.0))
+        for e in events
+    )
+    out: List[Dict[str, Any]] = []
+    named: set = set()
+    for record in events:
+        pid = int(record.get("pid", 0))
+        kind = str(record.get("kind", "?"))
+        ts = float(record.get("ts", base))
+        if kind == "process.start":
+            role = str(record.get("role", "process"))
+            if pid not in named:
+                named.add(pid)
+                out.append({
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "args": {"name": f"{role}-{pid}"},
+                })
+            continue
+        tid = int(record.get("tid", pid))
+        if kind == "span":
+            start = float(record.get("start", ts))
+            attrs = dict(record.get("attrs") or {})
+            attrs["pid"] = pid
+            attrs["seq"] = record.get("seq")
+            out.append({
+                "name": str(record.get("name", "span")),
+                "ph": "X",
+                "ts": round((start - base) * _US, 3),
+                "dur": round(float(record.get("dur", 0.0)) * _US, 3),
+                "pid": pid,
+                "tid": tid,
+                "cat": "span",
+                "args": attrs,
+            })
+        else:
+            args = {
+                k: v for k, v in record.items()
+                if k not in ("ts", "pid", "seq", "kind", "tid")
+            }
+            out.append({
+                "name": kind,
+                "ph": "i",
+                "ts": round((ts - base) * _US, 3),
+                "pid": pid,
+                "tid": tid,
+                "s": "t",
+                "cat": "event",
+                "args": args,
+            })
+    return out
+
+
+def export_perfetto(directory: Path) -> Dict[str, Any]:
+    """Merge ``directory`` and wrap as a loadable trace document."""
+    events = merge_events(directory)
+    return {
+        "traceEvents": to_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro-telemetry", "events": len(events)},
+    }
+
+
+def write_perfetto(directory: Path, output: Path) -> int:
+    """Export ``directory`` to ``output``; returns the event count."""
+    payload = export_perfetto(directory)
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return len(payload["traceEvents"])
+
+
+def validate_perfetto(payload: Dict[str, Any]) -> List[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    This is the check the ``telemetry-smoke`` CI lane runs against the
+    exported JSON: structural validity only, no timing semantics.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if ph in ("X", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+            if not isinstance(ev.get("tid"), int):
+                problems.append(f"{where}: missing integer tid")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+    return problems

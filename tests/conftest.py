@@ -1,5 +1,7 @@
 """Shared fixtures: small system configurations that keep tests fast."""
 
+import os
+
 import pytest
 
 from repro.params import DramOrganization, DramTimings, SystemConfig
@@ -19,6 +21,21 @@ def _isolated_sim_cache(tmp_path, monkeypatch):
     # a prior test forgetting to clean up) must never perturb the
     # suite.  Tests that want injection set REPRO_FAULT_PLAN itself.
     monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    # Telemetry: off unless a test sets REPRO_TELEMETRY itself — but
+    # when the *outer* environment enabled it (the telemetry-smoke CI
+    # lane runs the golden suites with telemetry on to prove
+    # non-perturbation), keep it enabled and redirect the streams into
+    # the test's own tmp dir.  Either way the module-level sink is
+    # dropped so no test leaks an open events file into the next.
+    if os.environ.get("REPRO_TELEMETRY"):
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "telemetry"))
+    else:
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    from repro import telemetry
+
+    telemetry.reset()
+    yield
+    telemetry.reset()
 
 
 @pytest.fixture

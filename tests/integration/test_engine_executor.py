@@ -91,13 +91,41 @@ class TestExecutor:
     def test_cache_hits_skip_simulation_and_match(self, tmp_path):
         jobs = _tiny_jobs()
         cold = run_jobs(jobs, n_jobs=1, cache_dir=tmp_path)
-        assert run_jobs.last_stats.simulated == len(jobs)
-        assert run_jobs.last_stats.cache_hits == 0
+        stats = run_jobs.last_stats
+        assert stats.simulated == len(jobs)
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == len(jobs)
+        assert stats.cache_quarantined == 0
         warm = run_jobs(jobs, n_jobs=4, cache_dir=tmp_path)
         stats = run_jobs.last_stats
         assert stats.simulated == 0
         assert stats.cache_hits == len(jobs)
+        assert stats.cache_misses == 0
+        assert stats.cache_quarantined == 0
         assert _dumps(cold) == _dumps(warm)
+
+    def test_stats_carry_timing_breakdown(self, tmp_path):
+        jobs = _tiny_jobs()[:1]
+        run_jobs(jobs, cache_dir=tmp_path)
+        timing = run_jobs.last_stats.timing_breakdown
+        assert set(timing) >= {"cache_lookup", "execute", "cache_put"}
+        assert all(v >= 0.0 for v in timing.values())
+        run_jobs(jobs, cache_dir=tmp_path)
+        warm_timing = run_jobs.last_stats.timing_breakdown
+        assert "execute" not in warm_timing  # nothing simulated
+
+    def test_corrupt_entry_counts_as_quarantined(self, tmp_path):
+        from repro.engine.cache import ResultCache
+
+        jobs = _tiny_jobs()[:1]
+        run_jobs(jobs, cache_dir=tmp_path)
+        entry = ResultCache(tmp_path).path_for(jobs[0])
+        entry.write_text(entry.read_text()[: entry.stat().st_size // 2])
+        run_jobs(jobs, cache_dir=tmp_path)
+        stats = run_jobs.last_stats
+        assert stats.cache_quarantined == 1
+        assert stats.cache_hits == 0
+        assert stats.simulated == 1
 
     def test_no_cache_ignores_existing_entries(self, tmp_path):
         jobs = _tiny_jobs()[:1]

@@ -1,0 +1,366 @@
+"""Unit tests for the telemetry fabric.
+
+Covers the instrumentation core (zero-cost-off gating, spans, metrics,
+ring bounds, per-pid event streams), the cross-process merger's
+torn-write tolerance and deterministic ordering, the Perfetto export +
+validator, and the campaign progress follower.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    RING_CAPACITY,
+    MetricsRegistry,
+    Telemetry,
+    event_files,
+    merge_events,
+    read_events,
+    summarize_events,
+    to_trace_events,
+    validate_perfetto,
+    write_perfetto,
+)
+from repro.telemetry.perfetto import export_perfetto
+
+
+@pytest.fixture
+def tel(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "tel"))
+    telemetry.reset()
+    yield telemetry.get()
+    telemetry.reset()
+
+
+@pytest.fixture
+def off(monkeypatch):
+    """Force-disable telemetry even when the outer environment (the
+    telemetry-smoke CI lane) runs the suite with it on."""
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    telemetry.reset()
+
+
+class TestGating:
+    def test_disabled_by_default(self, off):
+        assert telemetry.get() is None
+        assert not telemetry.enabled()
+
+    def test_module_span_is_noop_when_off(self, off):
+        span = telemetry.span("anything", key="value")
+        assert span is telemetry.NOOP_SPAN
+        with span:
+            pass  # enter/exit must not raise
+
+    def test_counter_and_event_are_noops_when_off(self, off):
+        telemetry.counter("nope")
+        telemetry.event("nope")  # nothing to assert: must not raise
+
+    def test_enabled_via_env(self, tel, tmp_path):
+        assert tel is not None
+        assert tel.directory == tmp_path / "tel"
+        assert telemetry.enabled()
+
+    def test_get_rebuilds_on_directory_change(self, tel, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "other"))
+        other = telemetry.get()
+        assert other is not tel
+        assert other.directory == tmp_path / "other"
+
+    def test_get_drops_sink_when_env_cleared(self, tel, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        assert telemetry.get() is None
+
+    def test_fork_detection_rebuilds_for_new_pid(self, tel):
+        # Simulate the post-fork state: the inherited sink carries the
+        # parent's pid, so get() must mint a fresh per-process sink.
+        tel.pid = tel.pid + 1
+        telemetry._active = tel
+        rebuilt = telemetry.get()
+        assert rebuilt is not tel
+        assert rebuilt.pid == os.getpid()
+
+
+class TestCore:
+    def test_span_records_duration_and_event(self, tel):
+        with tel.span("phase.one", detail=7):
+            pass
+        assert tel.registry.timers["phase.one"] >= 0.0
+        [record] = [r for r in tel.ring if r["kind"] == "span"]
+        assert record["name"] == "phase.one"
+        assert record["attrs"] == {"detail": 7}
+        assert record["dur"] >= 0.0
+        assert record["pid"] == os.getpid()
+
+    def test_span_records_on_exception(self, tel):
+        with pytest.raises(RuntimeError):
+            with tel.span("fails"):
+                raise RuntimeError("boom")
+        assert "fails" in tel.registry.timers
+
+    def test_counters_and_gauges(self, tel):
+        tel.counter("hits")
+        tel.counter("hits", 2)
+        tel.gauge("depth", 0.5)
+        snap = tel.registry.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["gauges"]["depth"] == 0.5
+
+    def test_events_are_durable_jsonl(self, tel):
+        tel.event("thing.happened", value=1)
+        lines = tel.events_path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "thing.happened"
+        assert record["value"] == 1
+        assert record["seq"] == 1
+        assert record["pid"] == os.getpid()
+
+    def test_seq_is_monotonic(self, tel):
+        for _ in range(5):
+            tel.event("tick")
+        seqs = [r["seq"] for r in tel.ring]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_ring_is_bounded(self, tel):
+        for i in range(RING_CAPACITY + 10):
+            tel.ring.append({"i": i})
+        assert len(tel.ring) == RING_CAPACITY
+
+    def test_set_role_stamps_once(self, tel):
+        tel.set_role("supervisor")
+        tel.set_role("supervisor")
+        starts = [r for r in tel.ring if r["kind"] == "process.start"]
+        assert len(starts) == 1
+        assert starts[0]["role"] == "supervisor"
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the dir should go")
+        sink = Telemetry(blocker / "sub")
+        sink.event("still.works")  # must not raise
+        assert sink.ring[-1]["kind"] == "still.works"
+
+    def test_metrics_registry_standalone(self):
+        registry = MetricsRegistry()
+        registry.add_time("a", 0.25)
+        registry.add_time("a", 0.25)
+        assert registry.snapshot()["timers"]["a"] == 0.5
+
+
+class TestMerger:
+    def _write_stream(self, directory, pid, records):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"events-{pid}.jsonl"
+        with path.open("w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        return path
+
+    def test_merges_out_of_order_files(self, tmp_path):
+        # Worker files are each internally ordered, but interleave in
+        # time; the merge must be globally (ts, pid, seq)-sorted.
+        self._write_stream(tmp_path, 2, [
+            {"ts": 2.0, "pid": 2, "seq": 1, "kind": "b"},
+            {"ts": 4.0, "pid": 2, "seq": 2, "kind": "d"},
+        ])
+        self._write_stream(tmp_path, 1, [
+            {"ts": 1.0, "pid": 1, "seq": 1, "kind": "a"},
+            {"ts": 3.0, "pid": 1, "seq": 2, "kind": "c"},
+        ])
+        merged = merge_events(tmp_path)
+        assert [r["kind"] for r in merged] == ["a", "b", "c", "d"]
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = self._write_stream(tmp_path, 7, [
+            {"ts": 1.0, "pid": 7, "seq": 1, "kind": "whole"},
+        ])
+        with path.open("a") as fh:
+            fh.write('{"ts": 2.0, "pid": 7, "seq": 2, "kind": "to')
+        merged = merge_events(tmp_path)
+        assert [r["kind"] for r in merged] == ["whole"]
+        assert list(read_events(path)) == merged
+
+    def test_non_object_lines_skipped(self, tmp_path):
+        path = self._write_stream(tmp_path, 7, [])
+        path.write_text('[1, 2]\n"string"\n\n{"ts": 1, "pid": 7, '
+                        '"seq": 1, "kind": "ok"}\n')
+        assert [r["kind"] for r in read_events(path)] == ["ok"]
+
+    def test_equal_timestamps_merge_deterministically(self, tmp_path):
+        # Same ts everywhere: order must fall back to (pid, seq) and
+        # be identical across repeated merges.
+        self._write_stream(tmp_path, 9, [
+            {"ts": 5.0, "pid": 9, "seq": 1, "kind": "p9s1"},
+            {"ts": 5.0, "pid": 9, "seq": 2, "kind": "p9s2"},
+        ])
+        self._write_stream(tmp_path, 3, [
+            {"ts": 5.0, "pid": 3, "seq": 1, "kind": "p3s1"},
+        ])
+        first = merge_events(tmp_path)
+        assert [r["kind"] for r in first] == ["p3s1", "p9s1", "p9s2"]
+        assert merge_events(tmp_path) == first
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert merge_events(tmp_path / "never") == []
+        assert event_files(tmp_path / "never") == []
+
+    def test_summarize(self, tmp_path):
+        self._write_stream(tmp_path, 1, [
+            {"ts": 1.0, "pid": 1, "seq": 1, "kind": "span",
+             "name": "work", "dur": 0.5},
+            {"ts": 2.0, "pid": 1, "seq": 2, "kind": "job.ok"},
+        ])
+        summary = summarize_events(merge_events(tmp_path))
+        assert summary["total"] == 2
+        assert summary["kinds"] == {"span": 1, "job.ok": 1}
+        assert summary["span_seconds"] == {"work": 0.5}
+        assert summary["processes"] == [1]
+
+
+class TestPerfetto:
+    def test_span_becomes_complete_event(self):
+        events = [
+            {"ts": 10.5, "pid": 1, "seq": 1, "kind": "span",
+             "name": "work", "start": 10.0, "dur": 0.5,
+             "attrs": {"k": "v"}},
+        ]
+        [trace] = to_trace_events(events)
+        assert trace["ph"] == "X"
+        assert trace["name"] == "work"
+        assert trace["ts"] == 0.0          # rebased to the span start
+        assert trace["dur"] == 500_000.0   # 0.5 s in µs
+        assert trace["pid"] == 1 and trace["tid"] == 1
+        assert trace["args"]["k"] == "v"
+
+    def test_explicit_tid_routes_to_worker_track(self):
+        # The supervisor writes lease spans with tid=<worker pid>.
+        events = [
+            {"ts": 1.0, "pid": 10, "seq": 1, "kind": "span",
+             "name": "lease", "start": 0.5, "dur": 0.5, "tid": 42},
+        ]
+        [trace] = to_trace_events(events)
+        assert trace["pid"] == 10
+        assert trace["tid"] == 42
+
+    def test_role_stamp_becomes_process_name(self):
+        events = [
+            {"ts": 1.0, "pid": 5, "seq": 1, "kind": "process.start",
+             "role": "worker"},
+            {"ts": 2.0, "pid": 5, "seq": 2, "kind": "job.ok",
+             "job": "abc"},
+        ]
+        traces = to_trace_events(events)
+        meta = [t for t in traces if t["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "worker-5"
+        instants = [t for t in traces if t["ph"] == "i"]
+        assert instants[0]["name"] == "job.ok"
+        assert instants[0]["args"]["job"] == "abc"
+
+    def test_validator_passes_good_payload(self):
+        payload = {"traceEvents": to_trace_events([
+            {"ts": 1.0, "pid": 1, "seq": 1, "kind": "span",
+             "name": "a", "start": 1.0, "dur": 0.1},
+            {"ts": 2.0, "pid": 1, "seq": 2, "kind": "worker.crash"},
+        ])}
+        assert validate_perfetto(payload) == []
+
+    def test_validator_rejects_malformed(self):
+        assert validate_perfetto([]) == ["payload is not an object"]
+        assert validate_perfetto({}) == ["traceEvents is not a list"]
+        problems = validate_perfetto({"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1},
+            {"ph": "X", "name": "", "pid": 1, "tid": 1,
+             "ts": -5, "dur": 1},
+            {"ph": "i", "name": "ok", "pid": "one", "tid": 1, "ts": 0},
+        ]})
+        assert len(problems) >= 3
+
+    def test_write_and_validate_roundtrip(self, tel, tmp_path):
+        with tel.span("real.work"):
+            pass
+        tel.event("worker.crash", tid=99, exit_code=23)
+        output = tmp_path / "out" / "trace.json"
+        count = write_perfetto(tel.directory, output)
+        payload = json.loads(output.read_text())
+        assert count == len(payload["traceEvents"]) == 2
+        assert validate_perfetto(payload) == []
+        assert payload["otherData"]["source"] == "repro-telemetry"
+
+    def test_empty_directory_exports_empty(self, tmp_path):
+        payload = export_perfetto(tmp_path)
+        assert payload["traceEvents"] == []
+        assert validate_perfetto(payload) == []
+
+
+class TestProgress:
+    def test_follow_formats_and_stops(self, tmp_path, monkeypatch):
+        import io
+
+        from repro.campaigns import get_campaign, plan_campaign
+        from repro.campaigns.executor import CampaignManifest, manifest_path
+        from repro.telemetry.progress import follow_campaign
+
+        monkeypatch.setenv(
+            "REPRO_CAMPAIGN_DIR", str(tmp_path / "campaigns")
+        )
+        plan = plan_campaign(get_campaign("smoke"), scale=0.05)
+        manifest = CampaignManifest.for_plan(
+            manifest_path("smoke"), plan
+        )
+        manifest.mark_completed(sorted(plan.jobs))
+        manifest.refresh_status()
+        manifest.save()
+        out = io.StringIO()
+        snap = follow_campaign(
+            "smoke", interval=0.0, out=out, sleep=lambda _s: None
+        )
+        assert snap["done"] == plan.total_points
+        assert snap["remaining"] == 0
+        assert snap["quarantined"] == 0
+        assert "100.0%" in out.getvalue()
+
+    def test_follow_reports_missing_manifest(self, tmp_path, monkeypatch):
+        import io
+
+        from repro.telemetry.progress import follow_campaign
+
+        monkeypatch.setenv(
+            "REPRO_CAMPAIGN_DIR", str(tmp_path / "campaigns")
+        )
+        out = io.StringIO()
+        snap = follow_campaign(
+            "smoke", interval=0.0, ticks=2, out=out,
+            sleep=lambda _s: None,
+        )
+        assert snap == {}
+        assert "no manifest yet" in out.getvalue()
+
+    def test_telemetry_counts_from_events(self, tmp_path):
+        from repro.telemetry.progress import _telemetry_counts
+
+        directory = tmp_path / "tel"
+        directory.mkdir()
+        records = [
+            {"ts": 1.0, "pid": 1, "seq": 1, "kind": "lease.assign",
+             "job": "aaa"},
+            {"ts": 2.0, "pid": 1, "seq": 2, "kind": "lease.assign",
+             "job": "bbb"},
+            {"ts": 3.0, "pid": 2, "seq": 1, "kind": "job.ok",
+             "job": "aaa"},
+            {"ts": 4.0, "pid": 1, "seq": 3, "kind": "job.retry",
+             "job": "bbb"},
+            {"ts": 5.0, "pid": 1, "seq": 4, "kind": "worker.crash",
+             "job": "bbb"},
+        ]
+        with (directory / "events-1.jsonl").open("w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        counts = _telemetry_counts(directory)
+        assert counts["retried"] == 1
+        assert counts["crashes"] == 1
+        assert counts["inflight"] == 1  # bbb assigned, never finished

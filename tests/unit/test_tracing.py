@@ -54,6 +54,32 @@ class TestCommandTracer:
         tracer.record(3, 0, CommandKind.ACT)
         assert not tracer.verify_ordering()
 
+    def test_summary_without_overflow(self):
+        tracer = CommandTracer()
+        tracer.record(0, 0, CommandKind.ACT, row=1)
+        tracer.record(1, 0, CommandKind.RFM)
+        summary = tracer.summary()
+        assert summary["total"] == 2
+        assert summary["recorded"] == 2
+        assert summary["dropped"] == 0
+        assert not summary["truncated"]
+        assert summary["by_kind"] == {"ACT": 1, "RFM": 1}
+
+    def test_summary_accounts_for_capacity_overflow(self):
+        tracer = CommandTracer(capacity=3)
+        for i in range(10):
+            tracer.record(i, 0, CommandKind.ACT, row=i)
+        tracer.record(10, 0, CommandKind.REF)  # also dropped
+        summary = tracer.summary()
+        assert summary["total"] == 11
+        assert summary["recorded"] == 3
+        assert summary["dropped"] == 8
+        assert summary["capacity"] == 3
+        assert summary["truncated"]
+        # by_kind covers only what was recorded: the REF never landed.
+        assert summary["by_kind"] == {"ACT": 3}
+        assert len(tracer) == 3
+
 
 class TestAttachedTracing:
     def test_acts_recorded_match_result(self):
