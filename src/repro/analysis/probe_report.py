@@ -1,0 +1,276 @@
+"""Render probe streams (:mod:`repro.sim.probes`) into per-scheme panels.
+
+``build_probe_report`` reads every sealed (or torn) probe stream under
+a directory and reduces each run's time-series into summary panels:
+per-interval ACT throughput, RFM cadence and RAA trajectory, CbS
+occupancy / spillover for Mithril and Graphene, BlockHammer blacklist
+backlog and throttle-latency percentiles (power-of-two buckets from
+:mod:`repro.sim.metrics`), dual-CBF saturation, and the tracker's
+estimated-vs-true error on each bank's hottest row.  All percentiles
+are exact (nearest-rank) over the recorded samples — no fitting.
+
+``format_probe_report`` renders the same structure as markdown tables
+(`repro probe report`); the JSON form is the dict itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import markdown_table
+from repro.sim.metrics import (
+    merge_counts,
+    percentile_from_counts,
+    percentile_summary,
+    pow2_bucket_bounds,
+)
+from repro.sim.probes import probe_files, read_probe_stream
+
+
+def _series_deltas(values: List[int]) -> List[int]:
+    """Per-interval increments of a cumulative per-sample series."""
+    return [
+        after - before for before, after in zip(values, values[1:])
+    ]
+
+
+def _sum_over_banks(samples: List[Dict[str, Any]], key: str,
+                    block: Optional[str] = None) -> List[int]:
+    """Per-sample sum across banks of one vector field."""
+    out = []
+    for sample in samples:
+        record = sample.get(block) if block else sample
+        if not isinstance(record, dict):
+            return []
+        vector = record.get(key)
+        if not isinstance(vector, list):
+            return []
+        out.append(sum(vector))
+    return out
+
+
+def _bucket_percentiles(counts: List[int]) -> Dict[str, Any]:
+    """p50/p95/p99 bucket *bounds* of a pow2 histogram."""
+    out: Dict[str, Any] = {"total": sum(counts)}
+    for q in (50, 95, 99):
+        index = percentile_from_counts(counts, q)
+        if index is None:
+            out[f"p{q}"] = None
+            continue
+        lower, upper = pow2_bucket_bounds(index, len(counts))
+        out[f"p{q}"] = (
+            f"[{lower}, inf)" if upper is None else f"[{lower}, {upper})"
+        )
+    return out
+
+
+def _mithril_panel(samples: List[Dict[str, Any]], block: str,
+                   extra_key: str) -> Optional[Dict[str, Any]]:
+    entries = _sum_over_banks(samples, "entries", block)
+    if not entries:
+        return None
+    last = samples[-1][block]
+    return {
+        "entries": percentile_summary(entries),
+        "max_counter": percentile_summary(
+            _sum_over_banks(samples, "max", block)
+        ),
+        "evictions": sum(last["evictions"]),
+        "observed": sum(last["observed"]),
+        extra_key: sum(last[extra_key]),
+    }
+
+
+def _blockhammer_panel(
+    samples: List[Dict[str, Any]], table_entries: int
+) -> Optional[Dict[str, Any]]:
+    backlog = _sum_over_banks(samples, "backlog", "blockhammer")
+    if not backlog:
+        return None
+    last = samples[-1]["blockhammer"]
+    lat = merge_counts(
+        [s["blockhammer"]["lat_hist"] for s in samples]
+    )
+    # header table_entries is both filters' counters; saturation is
+    # per filter.
+    filter_size = table_entries // 2 if table_entries else 0
+    saturation = []
+    for sample in samples:
+        for pair in sample["blockhammer"]["cbf_nonzero"]:
+            for value in pair:
+                saturation.append(value)
+    return {
+        "backlog": percentile_summary(backlog),
+        "pending": percentile_summary(
+            _sum_over_banks(samples, "pending", "blockhammer")
+        ),
+        "throttle_latency_cycles": _bucket_percentiles(lat),
+        "cbf_nonzero": percentile_summary(saturation),
+        "cbf_filter_size": filter_size,
+        "throttle_events": sum(last["throttle_events"]),
+        "blacklisted_seen": sum(last["blacklisted_seen"]),
+    }
+
+
+def _run_summary(path: Path) -> Dict[str, Any]:
+    records, sealed = read_probe_stream(path)
+    header = next(
+        (r for r in records if r.get("k") == "header"), {}
+    )
+    samples = [r for r in records if r.get("k") == "sample"]
+    final = next((r for r in records if r.get("k") == "final"), None)
+    run: Dict[str, Any] = {
+        "file": path.name,
+        "sealed": sealed,
+        "scheme": header.get("scheme", "?"),
+        "banks": header.get("banks", 0),
+        "interval": header.get("interval", 0),
+        "samples": len(samples),
+        "final": final,
+    }
+    if not samples:
+        return run
+    acts = _sum_over_banks(samples, "acts")
+    run["acts_per_interval"] = percentile_summary(_series_deltas(acts))
+    if "raa" in samples[0]:
+        issued = _sum_over_banks(samples, "rfm_issued")
+        run["rfm"] = {
+            "raa": percentile_summary(_sum_over_banks(samples, "raa")),
+            "issued_per_interval": percentile_summary(
+                _series_deltas(issued)
+            ),
+            "issued": issued[-1] if issued else 0,
+            "elided": _sum_over_banks(samples, "rfm_elided")[-1],
+            "mrr_reads": _sum_over_banks(samples, "mrr_reads")[-1],
+        }
+    if "mithril" in samples[0]:
+        run["mithril"] = _mithril_panel(
+            samples, "mithril", "spread_seen"
+        )
+    if "graphene" in samples[0]:
+        run["graphene"] = _mithril_panel(samples, "graphene", "resets")
+    if "blockhammer" in samples[0]:
+        run["blockhammer"] = _blockhammer_panel(
+            samples, int(header.get("table_entries") or 0)
+        )
+    errors = []
+    for sample in samples:
+        top = sample.get("top") or {}
+        for row, true, est in zip(
+            top.get("row", []), top.get("true", []), top.get("est", [])
+        ):
+            if row >= 0:
+                errors.append(est - true)
+    run["top_row_error"] = percentile_summary(errors)
+    return run
+
+
+def build_probe_report(directory) -> Dict[str, Any]:
+    """Summarize every probe stream under ``directory``."""
+    files = probe_files(directory)
+    return {
+        "directory": str(directory),
+        "streams": len(files),
+        "runs": [_run_summary(path) for path in files],
+    }
+
+
+def _percentile_row(label: str, summary) -> Optional[Dict[str, Any]]:
+    if not isinstance(summary, dict) or not summary.get("count"):
+        return None
+    return {
+        "series": label,
+        "count": summary["count"],
+        "min": summary["min"],
+        "p50": summary["p50"],
+        "p95": summary["p95"],
+        "p99": summary["p99"],
+        "max": summary["max"],
+        "mean": summary["mean"],
+    }
+
+
+def format_probe_report(report: Dict[str, Any]) -> str:
+    """Render a probe report dict as markdown."""
+    lines = [
+        f"# Probe report: {report['directory']}",
+        "",
+        f"{report['streams']} stream(s)",
+    ]
+    for run in report.get("runs") or []:
+        lines += [
+            "",
+            f"## {run['file']} — {run['scheme']}",
+            "",
+            f"- banks: {run['banks']}, interval: {run['interval']} "
+            f"cycles, samples: {run['samples']}, sealed: "
+            f"{'yes' if run['sealed'] else 'NO (torn or unsealed)'}",
+        ]
+        final = run.get("final")
+        if final:
+            lines.append(
+                f"- final: cycle {final.get('cycle')}, "
+                f"{final.get('acts')} ACTs, "
+                f"{final.get('rfm_commands')} RFMs, "
+                f"{final.get('throttle_events')} throttle events, "
+                f"{final.get('flips')} flips"
+            )
+        rows = []
+        for label, key in (
+            ("acts/interval", "acts_per_interval"),
+            ("top-row est-true error", "top_row_error"),
+        ):
+            row = _percentile_row(label, run.get(key))
+            if row:
+                rows.append(row)
+        rfm = run.get("rfm")
+        if rfm:
+            for label, summary in (
+                ("RAA counter", rfm.get("raa")),
+                ("RFMs/interval", rfm.get("issued_per_interval")),
+            ):
+                row = _percentile_row(label, summary)
+                if row:
+                    rows.append(row)
+            lines.append(
+                f"- RFM: {rfm.get('issued')} issued, "
+                f"{rfm.get('elided')} elided, "
+                f"{rfm.get('mrr_reads')} MRR reads"
+            )
+        for scheme_key, labels in (
+            ("mithril", (("CbS entries", "entries"),
+                         ("CbS max counter", "max_counter"))),
+            ("graphene", (("CbS entries", "entries"),
+                          ("CbS max counter", "max_counter"))),
+            ("blockhammer", (("blacklist backlog", "backlog"),
+                             ("blacklist pending", "pending"),
+                             ("CBF nonzero counters", "cbf_nonzero"))),
+        ):
+            panel = run.get(scheme_key)
+            if not panel:
+                continue
+            for label, key in labels:
+                row = _percentile_row(label, panel.get(key))
+                if row:
+                    rows.append(row)
+            if scheme_key in ("mithril", "graphene"):
+                extra = "spread_seen" if scheme_key == "mithril" else "resets"
+                lines.append(
+                    f"- CbS: {panel.get('observed')} observed, "
+                    f"{panel.get('evictions')} spillover evictions, "
+                    f"{extra}={panel.get(extra)}"
+                )
+            else:
+                lat = panel.get("throttle_latency_cycles") or {}
+                lines.append(
+                    f"- throttle latency (pending, cycles): "
+                    f"p50 {lat.get('p50')}, p95 {lat.get('p95')}, "
+                    f"p99 {lat.get('p99')} over {lat.get('total')} "
+                    f"snapshot entries; {panel.get('throttle_events')} "
+                    f"throttle events, {panel.get('blacklisted_seen')} "
+                    f"rows blacklisted"
+                )
+        if rows:
+            lines += ["", markdown_table(rows)]
+    return "\n".join(lines) + "\n"

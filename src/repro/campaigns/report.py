@@ -48,17 +48,45 @@ def _slowdown_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
     }
 
 
+def _probe_stream_rows(paths) -> List[Dict[str, Any]]:
+    """Compact per-stream summaries (file, scheme, samples, sealed)."""
+    from repro.sim.probes import read_probe_stream
+
+    rows = []
+    for path in paths:
+        records, sealed = read_probe_stream(path)
+        header = next(
+            (r for r in records if r.get("k") == "header"), {}
+        )
+        rows.append({
+            "file": path.name,
+            "scheme": header.get("scheme", "?"),
+            "samples": sum(
+                1 for r in records if r.get("k") == "sample"
+            ),
+            "sealed": sealed,
+        })
+    return rows
+
+
 def build_report(
     spec: CampaignSpec,
     directory=None,
     n_jobs: int = 1,
     use_cache: bool = True,
+    probes_dir=None,
 ) -> Dict[str, Any]:
     """Assemble the report dict for a campaign.
 
     Requires the campaign's manifest to exist (``campaign run`` first;
     an incomplete campaign reports, but the replay simulates whatever
     is missing).
+
+    With ``probes_dir`` the report also summarizes the probe streams
+    (:mod:`repro.sim.probes`) under that directory: streams recorded
+    *during* an experiment's replay (a warm-cache replay simulates
+    nothing and records nothing) are attributed to that experiment,
+    and every stream appears in the top-level ``probes`` panel.
     """
     manifest = CampaignManifest.load(manifest_path(spec.name, directory))
     if manifest is None:
@@ -68,10 +96,17 @@ def build_report(
         )
     from repro.experiments.runner import EXPERIMENTS
 
+    if probes_dir is not None:
+        from repro.sim.probes import probe_files
+
     experiments = []
     for experiment in manifest.data.get("experiments") or []:
         kind = experiment["kind"]
         module = importlib.import_module(EXPERIMENTS[kind][0])
+        seen_streams = (
+            {p.name for p in probe_files(probes_dir)}
+            if probes_dir is not None else set()
+        )
         rows = module.run(
             n_jobs=n_jobs, use_cache=use_cache,
             **{k: v for k, v in (experiment.get("params") or {}).items()},
@@ -101,6 +136,17 @@ def build_report(
                 },
             }
         )
+        if probes_dir is not None:
+            experiments[-1]["probes"] = _probe_stream_rows([
+                p for p in probe_files(probes_dir)
+                if p.name not in seen_streams
+            ])
+    report_probes = None
+    if probes_dir is not None:
+        report_probes = {
+            "directory": str(probes_dir),
+            "streams": _probe_stream_rows(probe_files(probes_dir)),
+        }
     return {
         "campaign": spec.name,
         "description": manifest.data.get("description", spec.description),
@@ -112,6 +158,7 @@ def build_report(
         "quarantined": manifest.quarantined,
         "runs": manifest.data.get("runs") or [],
         "experiments": experiments,
+        "probes": report_probes,
     }
 
 
@@ -153,6 +200,20 @@ def format_report(report: Dict[str, Any]) -> str:
                 f"after {record.get('attempts')} attempt(s) — "
                 f"{record.get('message')}"
             )
+    probes = report.get("probes")
+    if probes:
+        streams = probes.get("streams") or []
+        sealed = sum(1 for s in streams if s.get("sealed"))
+        lines += [
+            "",
+            f"## Probe streams ({probes.get('directory')})",
+            "",
+            f"{len(streams)} stream(s), {sealed} sealed — render with "
+            "`repro probe report --probes-dir "
+            f"{probes.get('directory')}`",
+        ]
+        if streams:
+            lines += ["", markdown_table(streams)]
     for experiment in report.get("experiments") or []:
         replay = experiment.get("replay") or {}
         lines += [
@@ -165,6 +226,15 @@ def format_report(report: Dict[str, Any]) -> str:
             "",
             markdown_table(experiment.get("rows") or []),
         ]
+        experiment_probes = experiment.get("probes")
+        if experiment_probes:
+            sealed = sum(
+                1 for s in experiment_probes if s.get("sealed")
+            )
+            lines.append(
+                f"- probe streams recorded during replay: "
+                f"{len(experiment_probes)} ({sealed} sealed)"
+            )
         for metric, summary in (experiment.get("slowdowns") or {}).items():
             lines.append(
                 f"- worst `{metric}`: {summary['worst_rel_perf_pct']} "

@@ -35,7 +35,13 @@ traces <cmd>        Trace foundry: ingest external traces, synthesize
                     (docs/WORKLOADS.md).
 trace <cmd>         Telemetry consumers: export a run's merged event
                     timeline (``--format perfetto`` loads in the
-                    Perfetto UI / chrome://tracing), or summarize it
+                    Perfetto UI / chrome://tracing; ``--probes-dir``
+                    adds probe counter tracks), or summarize it —
+                    ``summary --top N`` lists the slowest spans
+                    (docs/OBSERVABILITY.md).
+probe report        Per-scheme panels (p50/p95/p99 time-series
+                    summaries) from the probe streams a run recorded
+                    under REPRO_PROBES / --probes
                     (docs/OBSERVABILITY.md).
 
 ``--log-level {debug,info,warning,error}`` (or ``REPRO_LOG``) turns on
@@ -100,9 +106,19 @@ def _cmd_schemes(_args) -> int:
     return 0
 
 
+def _apply_probes_flag(args) -> None:
+    """``--probes DIR`` enables the probe layer for this process tree."""
+    directory = getattr(args, "probes", None)
+    if directory:
+        from repro.sim.probes import PROBES_ENV
+
+        os.environ[PROBES_ENV] = directory
+
+
 def _cmd_experiment(args) -> int:
     import inspect
 
+    _apply_probes_flag(args)
     module = importlib.import_module(EXPERIMENTS[args.id][0])
     kwargs = {
         "scale": args.scale,
@@ -384,6 +400,7 @@ def _cmd_campaign_run(args) -> int:
         run_campaign,
     )
 
+    _apply_probes_flag(args)
     try:
         spec = get_campaign(args.name)
     except CampaignError as error:
@@ -498,8 +515,10 @@ def _cmd_trace_export(args) -> int:
             for line in lines:
                 print(line)
         return 0
+    probes_dir = _probes_dir_arg(args)
     if args.output:
-        count = write_perfetto(directory, args.output)
+        count = write_perfetto(directory, args.output,
+                               probes_dir=probes_dir)
         problems = validate_perfetto(
             json.loads(Path(args.output).read_text())
         )
@@ -511,22 +530,27 @@ def _cmd_trace_export(args) -> int:
         print(f"wrote {count} trace event(s) to {args.output}")
         print("open in https://ui.perfetto.dev or chrome://tracing")
         return 0
-    payload = export_perfetto(directory)
+    payload = export_perfetto(directory, probes_dir=probes_dir)
     print(json.dumps(payload, indent=1, sort_keys=True))
     return 0
 
 
 def _cmd_trace_summary(args) -> int:
     from repro.telemetry import merge_events, summarize_events
+    from repro.telemetry.events import slowest_spans
 
     directory = _telemetry_dir_arg(args)
     if not directory:
         print("no telemetry directory: pass --telemetry-dir or set "
               "REPRO_TELEMETRY")
         return 1
-    summary = summarize_events(merge_events(directory))
+    events = merge_events(directory)
+    summary = summarize_events(events)
+    top = slowest_spans(events, limit=args.top)
     if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
+        payload = dict(summary)
+        payload["slowest_spans"] = top
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"events:     {summary['total']}")
     print(f"processes:  {len(summary['processes'])}")
@@ -538,6 +562,50 @@ def _cmd_trace_summary(args) -> int:
             summary["span_seconds"].items(), key=lambda kv: -kv[1]
         ):
             print(f"  {name:<24} {seconds:.3f}")
+    if top:
+        print(f"slowest spans (top {len(top)}):")
+        for span in top:
+            print(f"  {span['name']:<24} {span['dur']:.3f}s "
+                  f"@+{span['start']:.3f}s pid={span['pid']}")
+    return 0
+
+
+def _probes_dir_arg(args):
+    """The probe dir to read: ``--probes-dir`` else ``REPRO_PROBES``."""
+    from repro.sim.probes import PROBES_ENV
+
+    explicit = getattr(args, "probes_dir", None)
+    if explicit:
+        return explicit
+    return os.environ.get(PROBES_ENV) or None
+
+
+def _cmd_probe_report(args) -> int:
+    from repro.analysis.probe_report import (
+        build_probe_report,
+        format_probe_report,
+    )
+
+    directory = _probes_dir_arg(args)
+    if not directory:
+        print("no probe directory: pass --probes-dir or set "
+              "REPRO_PROBES")
+        return 1
+    report = build_probe_report(directory)
+    if not report["streams"]:
+        print(f"no probe streams under {directory}")
+        return 1
+    rendered = (
+        json.dumps(report, indent=2, sort_keys=True)
+        if args.json else format_probe_report(report)
+    )
+    if args.output:
+        Path(args.output).write_text(rendered + (
+            "" if rendered.endswith("\n") else "\n"
+        ))
+        print(f"wrote {args.output}")
+        return 0
+    print(rendered)
     return 0
 
 
@@ -666,6 +734,7 @@ def _cmd_campaign_report(args) -> int:
         spec = get_campaign(args.name)
         report = build_report(
             spec, directory=args.dir, n_jobs=args.jobs,
+            probes_dir=_probes_dir_arg(args),
         )
     except CampaignError as error:
         print(error)
@@ -944,6 +1013,10 @@ def main(argv=None) -> int:
                        help="emit raw JSON rows")
     p_exp.add_argument("--markdown", action="store_true",
                        help="emit a markdown table")
+    p_exp.add_argument("--probes", metavar="DIR", default=None,
+                       help="record scheme-internals probe streams "
+                            "under DIR (sets REPRO_PROBES; render with "
+                            "`repro probe report`)")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_fuzz = sub.add_parser(
@@ -1035,6 +1108,10 @@ def main(argv=None) -> int:
     c_run.add_argument("--retry-quarantined", action="store_true",
                        help="clear the manifest quarantine and retry "
                             "those points this run")
+    c_run.add_argument("--probes", metavar="DIR", default=None,
+                       help="record scheme-internals probe streams "
+                            "under DIR (sets REPRO_PROBES; render with "
+                            "`repro probe report`)")
     c_run.set_defaults(func=_cmd_campaign_run)
 
     c_status = csub.add_parser(
@@ -1081,6 +1158,9 @@ def main(argv=None) -> int:
     c_report.add_argument("--json", action="store_true")
     c_report.add_argument("--output", default=None,
                           help="write to a file instead of stdout")
+    c_report.add_argument("--probes-dir", default=None,
+                          help="summarize probe streams under this "
+                               "directory (default: REPRO_PROBES)")
     c_report.set_defaults(func=_cmd_campaign_report)
 
     from repro.speed import preset_names
@@ -1226,6 +1306,11 @@ def main(argv=None) -> int:
         "--output", default=None,
         help="write to this file instead of stdout",
     )
+    tr_export.add_argument(
+        "--probes-dir", default=None,
+        help="also render probe streams under this directory as "
+             "counter tracks (default: REPRO_PROBES)",
+    )
     tr_export.set_defaults(func=_cmd_trace_export)
 
     tr_summary = trsub.add_parser(
@@ -1234,7 +1319,29 @@ def main(argv=None) -> int:
     tr_summary.add_argument("--telemetry-dir", default=None,
                             help="default: REPRO_TELEMETRY")
     tr_summary.add_argument("--json", action="store_true")
+    tr_summary.add_argument("--top", type=int, default=10,
+                            help="slowest individual spans to list "
+                                 "(default 10)")
     tr_summary.set_defaults(func=_cmd_trace_summary)
+
+    p_probe = sub.add_parser(
+        "probe",
+        help="scheme-internals probe streams (docs/OBSERVABILITY.md)",
+    )
+    psub = p_probe.add_subparsers(dest="probe_command", required=True)
+
+    pr_report = psub.add_parser(
+        "report",
+        help="per-scheme p50/p95/p99 panels from recorded probe "
+             "streams",
+    )
+    pr_report.add_argument("--probes-dir", default=None,
+                           help="probe directory to read "
+                                "(default: REPRO_PROBES)")
+    pr_report.add_argument("--json", action="store_true")
+    pr_report.add_argument("--output", default=None,
+                           help="write to a file instead of stdout")
+    pr_report.set_defaults(func=_cmd_probe_report)
 
     p_safe = sub.add_parser("safety", help="replay an attack")
     p_safe.add_argument("scheme", choices=scheme_names())

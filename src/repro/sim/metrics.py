@@ -1,9 +1,16 @@
-"""Simulation results and derived metrics."""
+"""Simulation results, derived metrics, and histogram utilities.
+
+The histogram/percentile helpers at the bottom back the probe layer
+(:mod:`repro.sim.probes`) and its report renderer: they are exact,
+deterministic, and pure python, so the no-numpy lane gets identical
+values.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.types import EnergyCounts
 
@@ -70,3 +77,95 @@ class SimulationResult:
             "flips": self.flips,
             "max_disturbance": self.max_disturbance,
         }
+
+
+# ----------------------------------------------------------------------
+# histogram / percentile utilities (probe layer + reports)
+# ----------------------------------------------------------------------
+
+#: default bucket count for the power-of-two histograms below; bucket 0
+#: holds value 0, bucket i holds [2**(i-1), 2**i), the last bucket is
+#: open-ended.
+POW2_BUCKETS = 20
+
+
+def pow2_bucket(value: int, buckets: int = POW2_BUCKETS) -> int:
+    """Bucket index of ``value`` in a power-of-two histogram."""
+    if value <= 0:
+        return 0
+    index = int(value).bit_length()
+    return index if index < buckets else buckets - 1
+
+
+def pow2_bucket_bounds(index: int, buckets: int = POW2_BUCKETS) -> Tuple[int, Optional[int]]:
+    """``[lower, upper)`` of a bucket; the last bucket has ``upper=None``."""
+    if index <= 0:
+        return (0, 1)
+    if index >= buckets - 1:
+        return (1 << (buckets - 2), None)
+    return (1 << (index - 1), 1 << index)
+
+
+def pow2_histogram(values: Sequence[int], buckets: int = POW2_BUCKETS) -> List[int]:
+    """Per-bucket counts of ``values`` (non-negative ints)."""
+    counts = [0] * buckets
+    for value in values:
+        counts[pow2_bucket(value, buckets)] += 1
+    return counts
+
+
+def merge_counts(histograms: Sequence[Sequence[int]]) -> List[int]:
+    """Element-wise sum of equal-length bucket-count vectors."""
+    histograms = [h for h in histograms if h]
+    if not histograms:
+        return []
+    merged = [0] * max(len(h) for h in histograms)
+    for counts in histograms:
+        for index, count in enumerate(counts):
+            merged[index] += count
+    return merged
+
+
+def exact_percentile(values: Sequence[float], q: float):
+    """Nearest-rank percentile: the smallest value with at least
+    ``ceil(q/100 * n)`` values at or below it.  ``q`` in (0, 100]."""
+    if not values:
+        return None
+    if not 0 < q <= 100:
+        raise ValueError(f"q must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(0, rank - 1)]
+
+
+def percentile_from_counts(counts: Sequence[int], q: float) -> Optional[int]:
+    """Nearest-rank percentile over bucketed data: the index of the
+    bucket containing the rank-th sample.  ``None`` for empty data."""
+    total = sum(counts)
+    if total == 0:
+        return None
+    if not 0 < q <= 100:
+        raise ValueError(f"q must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * total)
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            return index
+    return len(counts) - 1
+
+
+def percentile_summary(values: Sequence[float]) -> Dict[str, float]:
+    """count/min/max/mean plus the p50/p95/p99 panel the reports use."""
+    values = list(values)
+    if not values:
+        return {"count": 0}
+    return {
+        "count": len(values),
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "p50": exact_percentile(values, 50),
+        "p95": exact_percentile(values, 95),
+        "p99": exact_percentile(values, 99),
+    }

@@ -47,6 +47,7 @@ from repro.mc.pagepolicy import make_page_policy
 from repro.mc.scheduler import make_scheduler
 from repro.params import DEFAULT_CONFIG, SystemConfig
 from repro.protection import NoProtection, ProtectionScheme
+from repro.sim import probes as _probes
 from repro.sim.core import TraceCore
 from repro.sim.metrics import SimulationResult
 from repro.types import BankAddress, EnergyCounts, MemoryRequest, RowAddress
@@ -158,6 +159,10 @@ class SimulatedSystem:
         self.row_hits = 0
         self.row_misses = 0
         self._ran = False
+        #: opt-in scheme-internals probe stream (REPRO_PROBES); None in
+        #: the common case, and the run loops branch once on it so the
+        #: probes-off hot path is unchanged.
+        self._probe = _probes.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -388,19 +393,44 @@ class SimulatedSystem:
         try_issue = self._try_issue
         bank_event = self._bank_event
         complete_event = self._complete_event
-        while heap:
-            key = heappop(heap)
-            cycle = key >> _CYCLE_SHIFT
-            if cycle > limit:
-                break
-            kind = (key >> _IDENT_BITS) & 3
-            ident = key & _IDENT_MASK
-            if kind == _BANK:
-                bank_event(ident, cycle)
-            elif kind == _ISSUE:
-                try_issue(cores[ident], cycle)
-            else:
-                complete_event(ident, cycle)
+        probe = self._probe
+        if probe is None:
+            while heap:
+                key = heappop(heap)
+                cycle = key >> _CYCLE_SHIFT
+                if cycle > limit:
+                    break
+                kind = (key >> _IDENT_BITS) & 3
+                ident = key & _IDENT_MASK
+                if kind == _BANK:
+                    bank_event(ident, cycle)
+                elif kind == _ISSUE:
+                    try_issue(cores[ident], cycle)
+                else:
+                    complete_event(ident, cycle)
+        else:
+            # Probing twin of the loop above: sample on the first event
+            # at or past the schedule — every prior cycle fully applied,
+            # the triggering cycle untouched — the same logical point
+            # the turbo drains sample at, so streams match byte for
+            # byte across backends.
+            next_probe = probe.next_cycle
+            while heap:
+                key = heappop(heap)
+                cycle = key >> _CYCLE_SHIFT
+                if cycle > limit:
+                    break
+                if cycle >= next_probe:
+                    probe.sample(self, cycle)
+                    next_probe = probe.next_cycle
+                kind = (key >> _IDENT_BITS) & 3
+                ident = key & _IDENT_MASK
+                if kind == _BANK:
+                    bank_event(ident, cycle)
+                elif kind == _ISSUE:
+                    try_issue(cores[ident], cycle)
+                else:
+                    complete_event(ident, cycle)
         return self._collect()
 
     def _collect(self) -> SimulationResult:
@@ -440,7 +470,7 @@ class SimulatedSystem:
         finishes = [
             self._core_last_completion[core.core_id] for core in self.cores
         ]
-        return SimulationResult(
+        result = SimulationResult(
             scheme_name=scheme_name,
             total_cycles=max(finishes) if finishes else 0,
             per_core_instructions=[
@@ -463,6 +493,11 @@ class SimulatedSystem:
             refresh_stall_cycles=refresh_stalls,
             throttle_events=throttle_events,
         )
+        if self._probe is not None:
+            # Turbo calls _collect after the arena write-back, so the
+            # final record reads authoritative state on every backend.
+            self._probe.finalize(self, result)
+        return result
 
 
 def make_system(

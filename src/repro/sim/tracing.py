@@ -135,7 +135,9 @@ def attach_tracer(system, tracer: Optional[CommandTracer] = None):
     Wraps each bank controller's internals with recording callbacks.
     Returns the tracer.  Must be called before ``system.run()``.
     """
-    tracer = tracer or CommandTracer()
+    # "tracer or ..." would discard a fresh tracer: an empty
+    # CommandTracer is falsy through __len__.
+    tracer = tracer if tracer is not None else CommandTracer()
     for flat, controller in enumerate(system.banks):
         _wrap_controller(controller, flat, tracer)
     return tracer

@@ -541,10 +541,18 @@ class TurboSimulatedSystem(SimulatedSystem):
         try_issue = self._try_issue
         bank_event = self._bank_event
         complete_event = self._complete_event
+        probe = self._probe
+        probe_next = probe.next_cycle if probe is not None else float("inf")
         while heap:
             cycle = heap[0] >> _CYCLE_SHIFT
             if cycle > limit:
                 break
+            if cycle >= probe_next:
+                # Same logical point as the scalar backend's per-pop
+                # check: every event of cycles < cycle applied, none
+                # of cycle itself — streams match byte for byte.
+                probe.sample(self, cycle)
+                probe_next = probe.next_cycle
             while heap:
                 key = heap[0]
                 if (key >> _CYCLE_SHIFT) != cycle:
@@ -633,11 +641,22 @@ class TurboSimulatedSystem(SimulatedSystem):
         bh_pending_flats = set()
         row_hits = 0
         row_misses = 0
+        #: probes off ⇒ one inf-compare per distinct event cycle and
+        #: one None-check per ACT; probes on ⇒ sample at the top of the
+        #: epoch, where bh_pending is empty (settled at the previous
+        #: epoch boundary) — the same logical point as the scalar
+        #: backend's per-pop check, so streams match byte for byte.
+        probe = self._probe
+        probe_next = probe.next_cycle if probe is not None else float("inf")
+        probe_acts = None if probe is None else probe.act_counts
         seq = self._seq
         while heap:
             cycle = heap[0] >> _CYCLE_SHIFT
             if cycle > limit:
                 break
+            if cycle >= probe_next:
+                probe.sample(self, cycle)
+                probe_next = probe.next_cycle
             while heap:
                 key = heap[0]
                 if (key >> _CYCLE_SHIFT) != cycle:
@@ -1085,6 +1104,11 @@ class TurboSimulatedSystem(SimulatedSystem):
                     energy.acts += 1
                     if precharged:
                         energy.pres += 1
+                    if probe_acts is not None:
+                        # the serve-path wrap never runs here: feed the
+                        # probe layer's exact ACT counts directly
+                        bank_acts = probe_acts[flat]
+                        bank_acts[row] = bank_acts.get(row, 0) + 1
                     if hammer is not None:
                         if f_hammer:
                             disturbance = hammer._disturbance

@@ -42,6 +42,10 @@ class CounterSummary(FrequencyEstimator):
         #: lazy max-heap of (-count, addr); stale entries skipped on pop
         self._max_heap: List[Tuple[int, Hashable]] = []
         self._total_observed = 0
+        #: cumulative Space-Saving replacements (off-table arrivals that
+        #: evicted a minimum entry) — the "spillover" the probe layer
+        #: reports.  Survives :meth:`reset` so it counts the whole run.
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # core stream operations
@@ -67,6 +71,7 @@ class CounterSummary(FrequencyEstimator):
                 self._min_count = min(self._buckets)
             return
         # Off-table replacement: evict one minimum-counter entry.
+        self.evictions += 1
         victim = next(iter(self._buckets[self._min_count]))
         self._remove(victim, self._min_count)
         self._insert(element, self._min_count + 1)

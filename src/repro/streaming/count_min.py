@@ -97,6 +97,15 @@ class CountMinSketch(FrequencyEstimator):
     def total_observed(self) -> int:
         return self._total
 
+    def nonzero_cells(self) -> int:
+        """Occupied (non-zero) cells across all rows — the saturation
+        numerator the probe layer samples."""
+        return self.width * self.depth - self._cells.count(0)
+
+    def saturation(self) -> float:
+        """Fraction of cells that are non-zero, in [0, 1]."""
+        return self.nonzero_cells() / (self.width * self.depth)
+
     def reset(self) -> None:
         self._cells = array("q", bytes(8 * self.width * self.depth))
         self._total = 0

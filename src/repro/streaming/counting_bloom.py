@@ -117,6 +117,15 @@ class CountingBloomFilter(FrequencyEstimator):
     def total_observed(self) -> int:
         return self._total
 
+    def nonzero_counters(self) -> int:
+        """Occupied (non-zero) counters — the probe layer's saturation
+        numerator for this filter."""
+        return self.size - self._counters.count(0)
+
+    def saturation(self) -> float:
+        """Fraction of counters that are non-zero, in [0, 1]."""
+        return self.nonzero_counters() / self.size
+
     def reset(self) -> None:
         self._counters = array("q", bytes(8 * self.size))
         self._total = 0
@@ -207,6 +216,11 @@ class DualCountingBloomFilter(FrequencyEstimator):
 
     def estimate(self, element: Hashable) -> int:
         return self._filters[self._active].estimate(element)
+
+    def nonzero_counters(self) -> List[int]:
+        """Per-filter occupied-counter counts, index-aligned with the
+        internal filter pair (not active-first)."""
+        return [cbf.nonzero_counters() for cbf in self._filters]
 
     def reset(self) -> None:
         for cbf in self._filters:

@@ -135,6 +135,14 @@ class NumpyCountMinSketch(FrequencyEstimator):
     def total_observed(self) -> int:
         return self._total
 
+    def nonzero_cells(self) -> int:
+        """Occupied cells — equals the scalar sketch's value exactly."""
+        return int(np.count_nonzero(self._cells))
+
+    def saturation(self) -> float:
+        """Fraction of cells that are non-zero, in [0, 1]."""
+        return self.nonzero_cells() / (self.width * self.depth)
+
     def reset(self) -> None:
         self._cells[:] = 0
         self._total = 0
@@ -215,6 +223,14 @@ class NumpyCountingBloomFilter(FrequencyEstimator):
     @property
     def total_observed(self) -> int:
         return self._total
+
+    def nonzero_counters(self) -> int:
+        """Occupied counters — equals the scalar filter's value exactly."""
+        return int(np.count_nonzero(self._counters))
+
+    def saturation(self) -> float:
+        """Fraction of counters that are non-zero, in [0, 1]."""
+        return self.nonzero_counters() / self.size
 
     def reset(self) -> None:
         self._counters[:] = 0
@@ -315,6 +331,10 @@ class NumpyDualCountingBloomFilter(FrequencyEstimator):
 
     def estimate_many(self, elements) -> List[int]:
         return self._filters[self._active].estimate_many(elements)
+
+    def nonzero_counters(self) -> List[int]:
+        """Per-filter occupied-counter counts, filter-pair order."""
+        return [cbf.nonzero_counters() for cbf in self._filters]
 
     def reset(self) -> None:
         for cbf in self._filters:

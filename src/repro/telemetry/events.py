@@ -88,3 +88,32 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "span_seconds": {k: round(v, 6) for k, v in span_totals.items()},
         "processes": sorted(p for p in pids if p is not None),
     }
+
+
+def slowest_spans(
+    events: List[Dict[str, Any]], limit: int = 10
+) -> List[Dict[str, Any]]:
+    """The ``limit`` individually slowest span records, longest first.
+
+    Ties break on the merge key so two runs over the same directory
+    always list the same spans in the same order.  Each entry carries
+    the span's name, duration, start offset from the earliest span
+    start, owning pid, and attrs.
+    """
+    spans = [r for r in events if r.get("kind") == "span"]
+    if not spans:
+        return []
+    base = min(float(r.get("start", r.get("ts", 0.0))) for r in spans)
+    spans.sort(key=lambda r: (-float(r.get("dur", 0.0)), _merge_key(r)))
+    out = []
+    for record in spans[:limit]:
+        out.append({
+            "name": str(record.get("name", "?")),
+            "dur": round(float(record.get("dur", 0.0)), 6),
+            "start": round(
+                float(record.get("start", record.get("ts", 0.0))) - base, 6
+            ),
+            "pid": record.get("pid"),
+            "attrs": record.get("attrs", {}),
+        })
+    return out

@@ -12,7 +12,14 @@ Perfetto's trace viewer load directly: ``{"traceEvents": [...]}`` with
   ``tid=<worker pid>`` so a worker that crashed before writing
   anything still gets its lease history on its own track);
 * ``i`` (instant) events for every non-span moment — worker crashes,
-  respawns, quarantines — so the timeline shows *why* a gap exists.
+  respawns, quarantines — so the timeline shows *why* a gap exists;
+* ``C`` (counter) events when a probe directory is supplied
+  (``trace export --probes-dir``): each probe stream becomes its own
+  synthetic-pid track whose counters (ACTs, RAA, CbS occupancy,
+  blacklist backlog, hot-row estimate error) plot the per-epoch
+  time-series recorded by :mod:`repro.sim.probes`.  Probe samples are
+  stamped in simulation *cycles*, not wall-clock — one cycle renders
+  as one microsecond on its own track.
 
 Timestamps are wall-clock seconds rebased to the earliest event so the
 trace starts near zero regardless of when the run happened.
@@ -22,9 +29,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from .events import merge_events
+
+#: Synthetic pid base for probe counter tracks — far above real pids
+#: (pid_max), so the tracks never collide with a process track.
+_PROBE_PID_BASE = 9_000_000
 
 _US = 1_000_000.0
 
@@ -90,19 +101,81 @@ def to_trace_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return out
 
 
-def export_perfetto(directory: Path) -> Dict[str, Any]:
+def _sample_counters(record: Dict[str, Any]) -> Dict[str, int]:
+    """The counter values one probe sample contributes to its track."""
+    counters = {"acts": sum(record.get("acts") or [])}
+    if "raa" in record:
+        counters["raa"] = sum(record["raa"])
+        counters["rfm_issued"] = sum(record.get("rfm_issued") or [])
+    for key in ("mithril", "graphene"):
+        block = record.get(key)
+        if block:
+            counters["cbs_entries"] = sum(block.get("entries") or [])
+            maxima = block.get("max") or []
+            counters["cbs_max"] = max(maxima) if maxima else 0
+    blockhammer = record.get("blockhammer")
+    if blockhammer:
+        counters["bh_backlog"] = sum(blockhammer.get("backlog") or [])
+        counters["bh_pending"] = sum(blockhammer.get("pending") or [])
+    top = record.get("top")
+    if top:
+        errors = [
+            est - true for row, true, est in zip(
+                top.get("row", []), top.get("true", []),
+                top.get("est", []),
+            ) if row >= 0
+        ]
+        counters["top_row_error"] = max(errors) if errors else 0
+    return counters
+
+
+def probe_counter_events(probes_directory) -> List[Dict[str, Any]]:
+    """Counter-track events from every probe stream in a directory."""
+    from repro.sim.probes import probe_files, read_probe_stream
+
+    out: List[Dict[str, Any]] = []
+    for index, path in enumerate(probe_files(probes_directory)):
+        records, _sealed = read_probe_stream(path)
+        pid = _PROBE_PID_BASE + index
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": f"probes-{path.name}"},
+        })
+        for record in records:
+            if record.get("k") != "sample":
+                continue
+            ts = float(record.get("cycle", 0))
+            for name, value in _sample_counters(record).items():
+                out.append({
+                    "name": f"probe.{name}",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {"value": value},
+                })
+    return out
+
+
+def export_perfetto(
+    directory: Path, probes_dir: Optional[Path] = None
+) -> Dict[str, Any]:
     """Merge ``directory`` and wrap as a loadable trace document."""
     events = merge_events(directory)
+    trace_events = to_trace_events(events)
+    if probes_dir is not None:
+        trace_events.extend(probe_counter_events(probes_dir))
     return {
-        "traceEvents": to_trace_events(events),
+        "traceEvents": trace_events,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro-telemetry", "events": len(events)},
     }
 
 
-def write_perfetto(directory: Path, output: Path) -> int:
+def write_perfetto(
+    directory: Path, output: Path, probes_dir: Optional[Path] = None
+) -> int:
     """Export ``directory`` to ``output``; returns the event count."""
-    payload = export_perfetto(directory)
+    payload = export_perfetto(directory, probes_dir=probes_dir)
     output = Path(output)
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=1, sort_keys=True))

@@ -31,6 +31,15 @@ def _isolated_sim_cache(tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "telemetry"))
     else:
         monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    # Probes follow the same protocol: off unless a test opts in, but
+    # an outer REPRO_PROBES (the probe-smoke CI step runs the golden
+    # suite with probes on to prove non-perturbation) stays enabled,
+    # redirected into the test's tmp dir.
+    if os.environ.get("REPRO_PROBES"):
+        monkeypatch.setenv("REPRO_PROBES", str(tmp_path / "probes"))
+    else:
+        monkeypatch.delenv("REPRO_PROBES", raising=False)
+    monkeypatch.delenv("REPRO_PROBE_INTERVAL", raising=False)
     from repro import telemetry
 
     telemetry.reset()

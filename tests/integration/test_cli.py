@@ -250,3 +250,83 @@ class TestTracesCommands:
                    / "examples" / "traces" / "example-set")
         assert main(["traces", "characterize", str(example)]) == 0
         assert "act_per_access" in capsys.readouterr().out
+
+
+class TestProbeCli:
+    """`repro probe report` and the probe-aware trace export."""
+
+    def _record_stream(self, tmp_path, monkeypatch, scheme="mithril"):
+        from repro.engine.executor import materialize_job
+        from repro.engine.job import SimJob, WorkloadSpec
+        from repro.sim.system import make_system
+
+        directory = tmp_path / "probes"
+        monkeypatch.setenv("REPRO_PROBES", str(directory))
+        monkeypatch.setenv("REPRO_PROBE_INTERVAL", "5000")
+        spec = WorkloadSpec.make("mix-high", scale=0.2, seed=11)
+        job = SimJob(workload=spec, scheme=scheme, flip_th=2500,
+                     scale=0.2)
+        traces, factory, config, rfm_th = materialize_job(job)
+        make_system(
+            traces, scheme_factory=factory, config=config,
+            rfm_th=rfm_th, flip_th=job.flip_th, backend="scalar",
+        ).run()
+        return directory
+
+    def test_probe_report_markdown(self, tmp_path, monkeypatch, capsys):
+        directory = self._record_stream(tmp_path, monkeypatch)
+        assert main(["probe", "report",
+                     "--probes-dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "Probe report" in out
+        assert "MithrilScheme" in out
+        assert "p95" in out
+
+    def test_probe_report_json_and_output(self, tmp_path, monkeypatch,
+                                          capsys):
+        directory = self._record_stream(tmp_path, monkeypatch)
+        target = tmp_path / "report.json"
+        assert main(["probe", "report", "--probes-dir", str(directory),
+                     "--json", "--output", str(target)]) == 0
+        report = json.loads(target.read_text())
+        assert report["streams"] == 1
+        assert report["runs"][0]["sealed"]
+        assert "p99" in report["runs"][0]["acts_per_interval"]
+
+    def test_probe_report_reads_env_dir(self, tmp_path, monkeypatch,
+                                        capsys):
+        self._record_stream(tmp_path, monkeypatch)
+        # REPRO_PROBES is still set: no --probes-dir needed
+        assert main(["probe", "report"]) == 0
+        assert "Probe report" in capsys.readouterr().out
+
+    def test_probe_report_errors_without_streams(self, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PROBES", raising=False)
+        assert main(["probe", "report"]) == 1
+        assert "no probe directory" in capsys.readouterr().out
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["probe", "report",
+                     "--probes-dir", str(empty)]) == 1
+        assert "no probe streams" in capsys.readouterr().out
+
+    def test_trace_export_includes_probe_tracks(self, tmp_path,
+                                                monkeypatch, capsys):
+        from repro import telemetry
+
+        probes = self._record_stream(tmp_path, monkeypatch)
+        tel_dir = tmp_path / "tel"
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tel_dir))
+        telemetry.reset()
+        telemetry.get().event("marker")
+        output = tmp_path / "trace.json"
+        assert main(["trace", "export",
+                     "--telemetry-dir", str(tel_dir),
+                     "--probes-dir", str(probes),
+                     "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        counters = [e for e in payload["traceEvents"]
+                    if e.get("ph") == "C"]
+        assert counters
+        assert any(e["name"] == "probe.acts" for e in counters)

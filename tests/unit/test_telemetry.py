@@ -221,6 +221,77 @@ class TestMerger:
         assert summary["span_seconds"] == {"work": 0.5}
         assert summary["processes"] == [1]
 
+    def test_slowest_spans_ranked_and_rebased(self, tmp_path):
+        from repro.telemetry.events import slowest_spans
+
+        self._write_stream(tmp_path, 1, [
+            {"ts": 1.5, "pid": 1, "seq": 1, "kind": "span",
+             "name": "fast", "start": 1.0, "dur": 0.5},
+            {"ts": 4.0, "pid": 1, "seq": 2, "kind": "span",
+             "name": "slow", "start": 2.0, "dur": 2.0,
+             "attrs": {"job": "x"}},
+            {"ts": 5.0, "pid": 1, "seq": 3, "kind": "job.ok"},
+        ])
+        top = slowest_spans(merge_events(tmp_path), limit=10)
+        assert [t["name"] for t in top] == ["slow", "fast"]
+        assert top[0]["dur"] == 2.0
+        assert top[0]["start"] == 1.0  # rebased to the earliest start
+        assert top[0]["attrs"] == {"job": "x"}
+        assert len(slowest_spans(merge_events(tmp_path), limit=1)) == 1
+        assert slowest_spans([], limit=3) == []
+
+
+class TestInterleavedProbeStreams:
+    """Probe seals land in the telemetry timeline and the merge stays
+    deterministic when both fabrics write during the same run."""
+
+    def _probed_traced_run(self, tmp_path, monkeypatch):
+        from repro.params import SystemConfig
+        from repro.sim.system import SimulatedSystem
+        from repro.workloads.synthetic import random_access_trace
+
+        monkeypatch.setenv("REPRO_PROBES", str(tmp_path / "probes"))
+        monkeypatch.setenv("REPRO_PROBE_INTERVAL", "2000")
+        config = SystemConfig().with_organization(
+            channels=1, banks_per_rank=4
+        )
+        traces = [
+            random_access_trace(num_requests=300, num_banks=4, seed=9)
+        ]
+        system = SimulatedSystem(traces, config=config)
+        return system.run()
+
+    def test_probe_seal_interleaves_with_telemetry_events(
+            self, tel, tmp_path, monkeypatch):
+        tel.event("run.begin")
+        self._probed_traced_run(tmp_path, monkeypatch)
+        tel.event("run.end")
+        merged = merge_events(tel.directory)
+        kinds = [r["kind"] for r in merged]
+        assert kinds.index("run.begin") \
+            < kinds.index("probes.sealed") < kinds.index("run.end")
+        [seal] = [r for r in merged if r["kind"] == "probes.sealed"]
+        assert seal["records"] > 0
+        assert seal["samples"] > 0
+        assert seal["path"].startswith("probes-")
+        # the named stream is the one on disk, and it verified
+        from repro.sim.probes import read_probe_stream
+
+        _records, sealed = read_probe_stream(
+            tmp_path / "probes" / seal["path"]
+        )
+        assert sealed
+        # merge is deterministic across repeated reads
+        assert merge_events(tel.directory) == merged
+
+    def test_no_seal_event_when_telemetry_off(self, off, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "")
+        self._probed_traced_run(tmp_path, monkeypatch)
+        from repro.sim.probes import probe_files
+
+        assert len(probe_files(tmp_path / "probes")) == 1
+
 
 class TestPerfetto:
     def test_span_becomes_complete_event(self):

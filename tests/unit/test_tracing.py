@@ -10,13 +10,13 @@ from repro.types import CommandKind
 from repro.workloads.synthetic import random_access_trace
 
 
-def _run_traced(scheme_factory=None, rfm_th=0):
+def _run_traced(scheme_factory=None, rfm_th=0, tracer=None):
     config = SystemConfig().with_organization(channels=1, banks_per_rank=4)
     traces = [random_access_trace(num_requests=300, num_banks=4, seed=9)]
     system = SimulatedSystem(
         traces, scheme_factory=scheme_factory, config=config, rfm_th=rfm_th
     )
-    tracer = attach_tracer(system)
+    tracer = attach_tracer(system, tracer)
     result = system.run()
     return tracer, result
 
@@ -106,3 +106,49 @@ class TestAttachedTracing:
         tracer, result = _run_traced()
         counts = tracer.counts_by_kind()
         assert counts.get(CommandKind.REF, 0) == result.energy.auto_refreshes
+
+
+class TestTracingUnderProbeLoad:
+    """The tracer and the probe layer wrap the same serve path; both
+    must keep exact accounting when attached to the same run."""
+
+    def _probed_run(self, tmp_path, monkeypatch, tracer=None):
+        monkeypatch.setenv("REPRO_PROBES", str(tmp_path / "probes"))
+        # dense sampling: probe-volume load on the instrumented path
+        monkeypatch.setenv("REPRO_PROBE_INTERVAL", "500")
+        return _run_traced(
+            scheme_factory=lambda: MithrilScheme(n_entries=8, rfm_th=8),
+            rfm_th=8,
+            tracer=tracer,
+        )
+
+    def test_overflow_accounting_exact_with_probes(self, tmp_path,
+                                                   monkeypatch):
+        capacity = 16
+        tracer, result = self._probed_run(
+            tmp_path, monkeypatch, tracer=CommandTracer(capacity=capacity)
+        )
+        summary = tracer.summary()
+        assert summary["truncated"]
+        assert summary["recorded"] == capacity
+        assert summary["total"] == summary["recorded"] + summary["dropped"]
+        assert len(tracer) == capacity
+        # probe sampling must not inject commands into the trace:
+        # an unbounded tracer on the identical probed run sees exactly
+        # the commands the result accounts for.
+        full, full_result = self._probed_run(tmp_path, monkeypatch)
+        assert full_result == result
+        assert full.summary()["total"] == summary["total"]
+        counts = full.counts_by_kind()
+        assert counts.get(CommandKind.ACT, 0) == full_result.acts
+        assert counts.get(CommandKind.RFM, 0) == full_result.rfm_commands
+
+    def test_probe_stream_sealed_alongside_tracer(self, tmp_path,
+                                                  monkeypatch):
+        from repro.sim.probes import probe_files, read_probe_stream
+
+        self._probed_run(tmp_path, monkeypatch)
+        [path] = probe_files(tmp_path / "probes")
+        records, sealed = read_probe_stream(path)
+        assert sealed
+        assert sum(1 for r in records if r.get("k") == "sample") > 0
