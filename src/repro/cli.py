@@ -17,8 +17,12 @@ cache               Show (or clear / --gc / --migrate) the simulation
                     size/age, ``--query`` against the sharded index.
 campaign <cmd>      Declarative multi-experiment campaigns: list,
                     plan, run (resumable + fault-tolerant: retries,
-                    per-job timeouts, quarantine, graceful drain),
-                    status, verify (exactly-once store audit), report
+                    per-job timeouts, quarantine, graceful drain;
+                    ``--hosts N`` distributes over a coordinator +
+                    host agents with leases and partition tolerance),
+                    agent (one host agent, SSH-launchable), status,
+                    verify (exactly-once store audit; exits 0 clean /
+                    1 findings / 2 unreadable), report
                     (docs/CAMPAIGNS.md, docs/FAULTS.md).
 bench-speed         Time simulate() on a preset; append to the
                     BENCH_SIM_SPEED.json speed trajectory
@@ -425,18 +429,40 @@ def _cmd_campaign_run(args) -> int:
               f"point(s) ({done} already complete)")
         return 0
     try:
-        result = run_campaign(
-            spec,
-            directory=args.dir,
-            scale=args.scale,
-            n_jobs=args.jobs,
-            use_cache=not args.no_cache,
-            batch_size=args.batch_size,
-            progress=print,
-            max_retries=args.max_retries,
-            job_timeout=args.job_timeout,
-            retry_quarantined=args.retry_quarantined,
-        )
+        if args.hosts > 0:
+            if args.no_cache:
+                print("campaign run --hosts requires the result store "
+                      "(it is the cluster's data plane); drop --no-cache")
+                return 1
+            from repro.cluster import run_campaign_distributed
+
+            result = run_campaign_distributed(
+                spec,
+                directory=args.dir,
+                scale=args.scale,
+                hosts=args.hosts,
+                n_jobs=args.jobs,
+                chunk_size=args.batch_size,
+                progress=print,
+                max_retries=args.max_retries,
+                job_timeout=args.job_timeout,
+                retry_quarantined=args.retry_quarantined,
+                lease_timeout=args.lease_timeout,
+                heartbeat_s=args.heartbeat,
+            )
+        else:
+            result = run_campaign(
+                spec,
+                directory=args.dir,
+                scale=args.scale,
+                n_jobs=args.jobs,
+                use_cache=not args.no_cache,
+                batch_size=args.batch_size,
+                progress=print,
+                max_retries=args.max_retries,
+                job_timeout=args.job_timeout,
+                retry_quarantined=args.retry_quarantined,
+            )
     except CampaignError as error:
         print(error)
         return 1
@@ -446,6 +472,14 @@ def _cmd_campaign_run(args) -> int:
         f"({stats.previously_complete} already complete), "
         f"{stats.simulated} simulated, {stats.cache_hits} cache hits"
     )
+    if getattr(stats, "hosts", 0):
+        print(
+            f"cluster: {stats.hosts} host(s), {stats.chunks} chunk(s), "
+            f"{stats.reassigned} reassigned, "
+            f"{stats.duplicate_results} duplicate result(s) discarded, "
+            f"{stats.hosts_lost} host(s) lost, "
+            f"{stats.hosts_restarted} restarted"
+        )
     print(f"manifest: {result.manifest_path}")
     if result.quarantined:
         print(f"quarantined ({len(result.quarantined)} point(s) — "
@@ -684,18 +718,40 @@ def _cmd_campaign_status(args) -> int:
 
 
 def _cmd_campaign_verify(args) -> int:
+    """Exit-code contract (docs/CAMPAIGNS.md):
+
+    0 — clean: every planned point accounted for (``--strict`` also
+        requires an empty quarantine);
+    1 — findings: missing/corrupt/unaccounted/duplicate entries (or
+        quarantined points under ``--strict``);
+    2 — unreadable state: the campaign spec cannot be resolved or the
+        store/campaign state cannot be read at all.
+    """
     from repro.campaigns import CampaignError, get_campaign, verify_campaign
 
     try:
         spec = get_campaign(args.name)
         audit = verify_campaign(spec, directory=args.dir, scale=args.scale)
     except CampaignError as error:
-        print(error)
-        return 1
+        if args.json:
+            print(json.dumps({"error": str(error), "exit_code": 2},
+                             indent=2))
+        else:
+            print(error)
+        return 2
+    except OSError as error:
+        if args.json:
+            print(json.dumps({"error": str(error), "exit_code": 2},
+                             indent=2))
+        else:
+            print(f"unreadable campaign state: {error}")
+        return 2
     strict_ok = audit["ok"] and not audit["quarantined"]
+    exit_code = 0 if (strict_ok if args.strict else audit["ok"]) else 1
     if args.json:
         payload = dict(audit)
         payload["strict_ok"] = strict_ok
+        payload["exit_code"] = exit_code
         print(json.dumps(payload, indent=2))
     else:
         print(f"campaign:    {audit['campaign']}")
@@ -715,11 +771,30 @@ def _cmd_campaign_verify(args) -> int:
             print(f"store quarantine log: "
                   f"{len(audit['store_quarantine_log'])} record(s)")
         print("verdict:     "
-              + ("OK" if (strict_ok if args.strict else audit["ok"])
-                 else "FAIL"))
-    if args.strict:
-        return 0 if strict_ok else 1
-    return 0 if audit["ok"] else 1
+              + ("OK" if exit_code == 0 else "FAIL"))
+    return exit_code
+
+
+def _cmd_campaign_agent(args) -> int:
+    """Run one host agent (normally exec'd by the coordinator).
+
+    This is the process an SSH launcher would start on a remote host:
+    it needs only the cluster spool directory (plus the shared result
+    store via ``REPRO_CACHE_DIR``/``--cache-dir``) — assignments and
+    results flow over the transport.
+    """
+    from repro.cluster import agent_main
+
+    return agent_main(
+        args.host_id,
+        Path(args.cluster_dir),
+        n_jobs=args.jobs,
+        max_retries=args.max_retries,
+        job_timeout=args.job_timeout,
+        cache_dir=args.cache_dir,
+        heartbeat_s=args.heartbeat,
+        parent_pid=args.parent_pid,
+    )
 
 
 def _cmd_campaign_report(args) -> int:
@@ -1112,7 +1187,44 @@ def main(argv=None) -> int:
                        help="record scheme-internals probe streams "
                             "under DIR (sets REPRO_PROBES; render with "
                             "`repro probe report`)")
+    c_run.add_argument("--hosts", type=int, default=0,
+                       help="distribute over N host agents (separate "
+                            "processes; 0 = single-host in-process "
+                            "executor).  --jobs becomes the per-host "
+                            "worker count, --batch-size the assignment "
+                            "chunk size")
+    c_run.add_argument("--lease-timeout", type=float, default=5.0,
+                       help="seconds without a heartbeat before a "
+                            "host's lease expires and its outstanding "
+                            "jobs reassign (default 5)")
+    c_run.add_argument("--heartbeat", type=float, default=0.5,
+                       help="host agent heartbeat interval in seconds "
+                            "(default 0.5)")
     c_run.set_defaults(func=_cmd_campaign_run)
+
+    c_agent = csub.add_parser(
+        "agent",
+        help="run one host agent (normally spawned by `campaign run "
+             "--hosts`; same entry point an SSH launcher would exec)",
+    )
+    c_agent.add_argument("--host-id", required=True,
+                         help="logical host id (mailbox host-<id>)")
+    c_agent.add_argument("--cluster-dir", required=True,
+                         help="cluster spool directory "
+                              "(<campaign dir>/<name>/cluster)")
+    c_agent.add_argument("--jobs", type=int, default=1,
+                         help="worker processes on this host")
+    c_agent.add_argument("--max-retries", type=int, default=2)
+    c_agent.add_argument("--job-timeout", type=float, default=None)
+    c_agent.add_argument("--heartbeat", type=float, default=0.5,
+                         help="heartbeat interval in seconds")
+    c_agent.add_argument("--parent-pid", type=int, default=None,
+                         help="exit when this pid disappears "
+                              "(orphan cleanup for local launches)")
+    c_agent.add_argument("--cache-dir", default=None,
+                         help="result store override (defaults to "
+                              "REPRO_CACHE_DIR)")
+    c_agent.set_defaults(func=_cmd_campaign_agent)
 
     c_status = csub.add_parser(
         "status", help="progress of a campaign from its manifest"

@@ -1,0 +1,49 @@
+"""Distributed campaign execution (docs/CAMPAIGNS.md § distributed).
+
+A **coordinator** shards the hash-deduplicated campaign job pool
+across **host agents** over a pluggable :class:`~repro.cluster.
+transport.Transport` (filesystem spool today, SSH tomorrow).  Host
+leases renewed by heartbeats layer on the engine's per-job leases;
+dead or partitioned hosts have their outstanding chunks reassigned,
+late duplicate results are discarded by hash, and the atomic
+``manifest.json`` checkpoint stays the cluster's single source of
+truth — kill any process at any instant and a resume re-simulates
+zero completed points.
+
+    from repro.cluster import run_campaign_distributed
+
+    result = run_campaign_distributed(spec, hosts=2, n_jobs=1)
+"""
+
+from repro.cluster.agent import HostAgent, agent_main
+from repro.cluster.coordinator import (
+    ClusterRunStats,
+    Coordinator,
+    HostState,
+    LocalAgentLauncher,
+    run_campaign_distributed,
+)
+from repro.cluster.transport import (
+    COORDINATOR_MAILBOX,
+    Message,
+    SpoolTransport,
+    Transport,
+    heartbeat_gate,
+    host_mailbox,
+)
+
+__all__ = [
+    "COORDINATOR_MAILBOX",
+    "ClusterRunStats",
+    "Coordinator",
+    "HostAgent",
+    "HostState",
+    "LocalAgentLauncher",
+    "Message",
+    "SpoolTransport",
+    "Transport",
+    "agent_main",
+    "heartbeat_gate",
+    "host_mailbox",
+    "run_campaign_distributed",
+]

@@ -142,3 +142,32 @@ class SimJob:
             self.canonical(), sort_keys=True, separators=(",", ":")
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    @classmethod
+    def from_canonical(cls, data: Mapping[str, Any]) -> "SimJob":
+        """Rebuild a job from :meth:`canonical` output.
+
+        The inverse the cluster transport needs: assignment messages
+        ship jobs as canonical JSON, and the receiving host agent must
+        reconstruct a job whose :meth:`job_hash` matches the
+        coordinator's — parameter pairs come back as lists after a
+        JSON round-trip and are re-frozen into tuples here.
+        """
+
+        def unpairs(raw: Any) -> Params:
+            return tuple((str(key), value) for key, value in raw or ())
+
+        workload = data["workload"]
+        return cls(
+            workload=WorkloadSpec(kind=str(workload["kind"]),
+                                  params=unpairs(workload.get("params"))),
+            scheme=str(data.get("scheme", "none")),
+            scheme_params=unpairs(data.get("scheme_params")),
+            flip_th=int(data.get("flip_th", 10_000)),
+            rfm_th=data.get("rfm_th"),
+            scale=float(data.get("scale", 1.0)),
+            mlp=int(data.get("mlp", 4)),
+            max_cycles=data.get("max_cycles"),
+            track_hammer=bool(data.get("track_hammer", True)),
+            config_overrides=unpairs(data.get("config_overrides")),
+        )

@@ -52,10 +52,23 @@ Kinds:
     :mod:`repro.engine.durable`), which tears the destination file
     mid-payload / flips the sealed checksum.  Only write sites
     implement them; other sites ignore the rule (budget still spent).
+``drop`` / ``delay`` / ``duplicate``
+    Returned to the caller — implemented by the cluster transport in
+    :mod:`repro.cluster.transport`: a dropped message is never
+    written, a delayed one carries a ``not_before`` stamp the receiver
+    honours (``seconds`` sets the delay), a duplicated one is
+    delivered twice.  ``drop`` on ``host.heartbeat`` is how a network
+    partition is injected: the agent keeps working but its heartbeats
+    vanish, so its host lease expires.
 
 Documented sites (see docs/FAULTS.md): ``worker.execute`` (key = job
 hash), ``cache.entry.write`` (job hash), ``manifest.write`` (campaign
-name), ``index.append`` (cache generation).
+name), ``index.append`` (cache generation), ``transport.send`` /
+``transport.recv`` (``<mailbox>:<message type>``), ``host.heartbeat``
+(host id).  Site names are free-form lowercase dotted identifiers —
+a malformed name (empty, whitespace, uppercase) raises
+:class:`FaultPlanError` at parse time rather than silently never
+matching.
 """
 
 from __future__ import annotations
@@ -63,6 +76,7 @@ from __future__ import annotations
 import fnmatch
 import json
 import os
+import re
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -95,7 +109,15 @@ class InjectedError(InjectedFault):
     """An injected ordinary failure (exercises traceback capture)."""
 
 
-_KINDS = ("crash", "hang", "error", "torn", "corrupt")
+_KINDS = (
+    "crash", "hang", "error", "torn", "corrupt",
+    "drop", "delay", "duplicate",
+)
+
+#: Sites are dotted lowercase identifiers (``manifest.write``,
+#: ``transport.send``).  The format is validated at parse time so a
+#: typo'd site raises instead of silently never matching.
+_SITE_RE = re.compile(r"[a-z0-9_-]+(\.[a-z0-9_-]+)*")
 
 
 class FaultRule:
@@ -115,6 +137,12 @@ class FaultRule:
             raise FaultPlanError(
                 f"fault rule #{index} has unknown kind {self.kind!r}; "
                 f"known: {', '.join(_KINDS)}"
+            )
+        if not _SITE_RE.fullmatch(self.site):
+            raise FaultPlanError(
+                f"fault rule #{index} has malformed site {self.site!r}; "
+                "sites are dotted lowercase identifiers like "
+                "'manifest.write'"
             )
         self.match = str(data.get("match", "*"))
         times = data.get("times", 1)
@@ -234,9 +262,10 @@ def maybe_fail(site: str, key: str = "") -> Optional[FaultRule]:
     """Ask the active plan whether ``site`` should fail for ``key``.
 
     Performs process-level kinds in place (``crash``/``hang``/
-    ``error``); returns the rule for write-level kinds (``torn``/
-    ``corrupt``) so the durable writer can implement them, and None
-    when nothing fires.
+    ``error``); returns the rule for caller-implemented kinds —
+    ``torn``/``corrupt`` for the durable writer, ``drop``/``delay``/
+    ``duplicate`` for the cluster transport — and None when nothing
+    fires.
     """
     plan = active_plan()
     if plan is None:

@@ -188,6 +188,81 @@ class TestResumability:
         out = capsys.readouterr().out
         assert "missing:     1" in out
 
+    def test_cli_verify_exit_code_contract(self, capsys):
+        """The documented 0/1/2 contract: clean, findings, unreadable
+        — each with a machine-readable --json shape carrying the exit
+        code so scripts never parse prose."""
+        from repro.cli import main
+        from repro.engine import ResultCache
+
+        spec = _tiny_spec()
+        run_campaign(spec)
+        spec_file = manifest_path(spec.name).parent / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+
+        # 0: clean (strict included), with the JSON payload agreeing
+        assert main([
+            "campaign", "verify", str(spec_file), "--strict", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["strict_ok"] is True
+        assert payload["exit_code"] == 0
+        assert payload["verified"] == payload["planned"]
+
+        # 1: findings — a store entry vanishes behind the manifest
+        victim = sorted(plan_campaign(spec).jobs.values(),
+                        key=lambda job: job.job_hash())[0]
+        ResultCache().path_for(victim).unlink()
+        assert main([
+            "campaign", "verify", str(spec_file), "--json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["ok"] is False
+        assert len(payload["missing"]) == 1
+
+        # 2: unreadable state — the spec cannot be resolved at all
+        assert main(["campaign", "verify", "no-such-campaign"]) == 2
+        capsys.readouterr()
+        assert main([
+            "campaign", "verify", "no-such-campaign", "--json",
+        ]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert "error" in payload
+
+    def test_cli_verify_strict_flags_quarantine_as_findings(
+        self, capsys, monkeypatch
+    ):
+        """A campaign whose only blemish is a quarantined point is ok
+        under the default audit (exit 0) but a finding under
+        --strict (exit 1)."""
+        from repro.cli import main
+        from repro.faults import FAULT_PLAN_ENV
+
+        spec = _tiny_spec()
+        poison = sorted(plan_campaign(spec).jobs)[0]
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({
+            "faults": [{"site": "worker.execute", "kind": "error",
+                        "match": poison, "times": None}],
+        }))
+        run_campaign(spec, max_retries=0)
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        spec_file = manifest_path(spec.name).parent / "spec.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+
+        assert main(["campaign", "verify", str(spec_file)]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "verify", str(spec_file), "--strict", "--json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["strict_ok"] is False
+        assert payload["exit_code"] == 1
+        assert poison in payload["quarantined"]
+
     def test_dry_run_never_simulates(self, monkeypatch):
         def boom(*_a, **_k):
             raise AssertionError("dry run must not execute jobs")

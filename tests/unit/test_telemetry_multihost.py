@@ -1,0 +1,133 @@
+"""Multi-host telemetry: per-host subdirectory streams stay distinct.
+
+Distributed campaigns run agents on hosts whose OS pids can collide
+(two boxes both spawn pid 4711).  Host agents therefore write their
+event streams into ``<dir>/host-<id>/`` subdirectories; the merger
+folds the subdirectory name into every record as ``host`` and keys
+the global order on ``(ts, host, pid, seq)``, and the Perfetto export
+routes each ``(host, pid)`` pair onto its own synthetic process track
+— so the trace never interleaves two different machines' pid-4711
+processes on one timeline row.
+"""
+
+import json
+
+from repro.telemetry.events import (
+    event_files,
+    merge_events,
+    summarize_events,
+)
+from repro.telemetry.perfetto import (
+    _HOST_PID_BASE,
+    to_trace_events,
+    validate_perfetto,
+)
+
+
+def _write_stream(directory, pid, records):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"events-{pid}.jsonl"
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def _colliding_pid_dir(tmp_path):
+    """Same pid (4711) active on two hosts, plus a coordinator stream
+    at the top level."""
+    _write_stream(tmp_path, 100, [
+        {"ts": 0.5, "pid": 100, "seq": 1, "kind": "process.start",
+         "role": "coordinator"},
+    ])
+    _write_stream(tmp_path / "host-1", 4711, [
+        {"ts": 1.0, "pid": 4711, "seq": 1, "kind": "process.start",
+         "role": "agent"},
+        {"ts": 2.0, "pid": 4711, "seq": 2, "kind": "job.ok",
+         "job": "aaa"},
+    ])
+    _write_stream(tmp_path / "host-2", 4711, [
+        {"ts": 1.5, "pid": 4711, "seq": 1, "kind": "process.start",
+         "role": "agent"},
+        {"ts": 2.5, "pid": 4711, "seq": 2, "kind": "job.ok",
+         "job": "bbb"},
+    ])
+    return tmp_path
+
+
+class TestMergerAcrossHosts:
+    def test_subdir_streams_found_and_host_folded(self, tmp_path):
+        _colliding_pid_dir(tmp_path)
+        files = event_files(tmp_path)
+        assert len(files) == 3
+        assert files[0].parent == tmp_path  # top-level first
+        merged = merge_events(tmp_path)
+        hosts = [r.get("host") for r in merged]
+        assert hosts.count("host-1") == 2
+        assert hosts.count("host-2") == 2
+        assert hosts.count(None) == 1  # coordinator untouched
+
+    def test_pid_collision_keeps_records_distinct_and_ordered(
+        self, tmp_path
+    ):
+        _colliding_pid_dir(tmp_path)
+        merged = merge_events(tmp_path)
+        assert [r.get("job") for r in merged if r["kind"] == "job.ok"] \
+            == ["aaa", "bbb"]
+        # same (ts, pid, seq) on both hosts must not tie-break
+        # nondeterministically: host is part of the merge key
+        _write_stream(tmp_path / "host-1", 9, [
+            {"ts": 5.0, "pid": 9, "seq": 1, "kind": "tie"},
+        ])
+        _write_stream(tmp_path / "host-2", 9, [
+            {"ts": 5.0, "pid": 9, "seq": 1, "kind": "tie"},
+        ])
+        first = merge_events(tmp_path)
+        ties = [r for r in first if r["kind"] == "tie"]
+        assert [t["host"] for t in ties] == ["host-1", "host-2"]
+        assert merge_events(tmp_path) == first
+
+    def test_summary_lists_hosts(self, tmp_path):
+        _colliding_pid_dir(tmp_path)
+        summary = summarize_events(merge_events(tmp_path))
+        assert summary["hosts"] == ["host-1", "host-2"]
+        assert summary["total"] == 5
+
+    def test_explicit_host_field_wins_over_subdir(self, tmp_path):
+        # A record that already carries host (e.g. coordinator events
+        # about a host) keeps it; the folding is only a default.
+        _write_stream(tmp_path / "host-1", 7, [
+            {"ts": 1.0, "pid": 7, "seq": 1, "kind": "x",
+             "host": "host-9"},
+        ])
+        [record] = merge_events(tmp_path)
+        assert record["host"] == "host-9"
+
+
+class TestPerfettoAcrossHosts:
+    def test_colliding_pids_get_distinct_tracks(self, tmp_path):
+        merged = merge_events(_colliding_pid_dir(tmp_path))
+        traces = to_trace_events(merged)
+        meta = {t["args"]["name"]: t["pid"]
+                for t in traces if t["ph"] == "M"
+                and t.get("name") == "process_name"}
+        assert "agent@host-1-4711" in meta
+        assert "agent@host-2-4711" in meta
+        assert meta["agent@host-1-4711"] != meta["agent@host-2-4711"]
+        assert meta["agent@host-1-4711"] >= _HOST_PID_BASE
+        # hostless coordinator keeps its raw pid
+        assert meta["coordinator-100"] == 100
+        validate_perfetto({"traceEvents": traces})
+
+    def test_host_routing_is_deterministic(self, tmp_path):
+        merged = merge_events(_colliding_pid_dir(tmp_path))
+        first = to_trace_events(merged)
+        assert to_trace_events(merged) == first
+
+    def test_instants_follow_their_host_track(self, tmp_path):
+        merged = merge_events(_colliding_pid_dir(tmp_path))
+        traces = to_trace_events(merged)
+        instants = [t for t in traces if t["ph"] == "i"]
+        pids = {t["args"].get("host"): t["pid"] for t in instants}
+        assert pids["host-1"] != pids["host-2"]
+        assert all(p >= _HOST_PID_BASE for p in pids.values())
